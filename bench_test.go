@@ -1,0 +1,323 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§8), plus ablations over CPR's design choices and
+// micro-benchmarks of the substrates. Each figure benchmark runs its
+// experiment at a reduced-but-representative scale; cmd/cpreval runs the
+// same experiments at the paper's full dimensions.
+package cpr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arc"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/generate"
+	"repro/internal/greedy"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/smt/maxsat"
+	"repro/internal/smt/sat"
+	"repro/internal/topology"
+	"repro/internal/translate"
+)
+
+// benchCfg is the reduced scale shared by the figure benchmarks.
+func benchCfg() eval.Config {
+	cfg := eval.Quick()
+	cfg.CorpusNetworks = 3
+	cfg.SubnetScale = 0.3
+	cfg.PolicySweep = []int{6}
+	cfg.SizeSweepK = []int{4}
+	cfg.Fig8aPolicies = 4
+	cfg.Fig8cPolicies = 6
+	cfg.AllTCsBudget = 100000
+	return cfg
+}
+
+// --- Table 1: policy-class verification characteristics ---
+
+func benchVerify(b *testing.B, kind policy.Kind) {
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	s, tt, u, r := n.Subnet("S"), n.Subnet("T"), n.Subnet("U"), n.Subnet("R")
+	var p policy.Policy
+	switch kind {
+	case policy.AlwaysBlocked:
+		p = policy.Policy{Kind: kind, TC: topology.TrafficClass{Src: s, Dst: u}}
+	case policy.AlwaysWaypoint:
+		p = policy.Policy{Kind: kind, TC: topology.TrafficClass{Src: s, Dst: tt}}
+	case policy.KReachable:
+		p = policy.Policy{Kind: kind, K: 2, TC: topology.TrafficClass{Src: s, Dst: tt}}
+	case policy.PrimaryPath:
+		p = policy.Policy{Kind: kind, Path: []string{"A", "B", "C"}, TC: topology.TrafficClass{Src: r, Dst: tt}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.Check(h, p)
+	}
+}
+
+func BenchmarkTable1VerifyPC1(b *testing.B) { benchVerify(b, policy.AlwaysBlocked) }
+func BenchmarkTable1VerifyPC2(b *testing.B) { benchVerify(b, policy.AlwaysWaypoint) }
+func BenchmarkTable1VerifyPC3(b *testing.B) { benchVerify(b, policy.KReachable) }
+func BenchmarkTable1VerifyPC4(b *testing.B) { benchVerify(b, policy.PrimaryPath) }
+
+// --- Table 2/3: encoding and translation of the Figure 2a repair ---
+
+func BenchmarkTable2RepairEncodingFig2a(b *testing.B) {
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	spec := figure2aPoliciesBench(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Repair(h, spec, core.DefaultOptions())
+		if err != nil || !res.Solved {
+			b.Fatalf("repair failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkTable3TranslateFig2a(b *testing.B) {
+	sys, err := Load(config.Figure2aConfigs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := figure2aPoliciesBench(sys.Network)
+	res, err := core.Repair(sys.HARC, spec, core.DefaultOptions())
+	if err != nil || !res.Solved {
+		b.Fatal("repair failed")
+	}
+	orig := harc.StateOf(sys.HARC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfgs, err := translate.CloneConfigs(sys.Configs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := translate.Translate(sys.HARC, orig, res.State, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func figure2aPoliciesBench(n *topology.Network) []policy.Policy {
+	s, tt, u, r := n.Subnet("S"), n.Subnet("T"), n.Subnet("U"), n.Subnet("R")
+	return []policy.Policy{
+		{Kind: policy.AlwaysBlocked, TC: topology.TrafficClass{Src: s, Dst: u}},
+		{Kind: policy.AlwaysWaypoint, TC: topology.TrafficClass{Src: s, Dst: tt}},
+		{Kind: policy.KReachable, K: 2, TC: topology.TrafficClass{Src: s, Dst: tt}},
+		{Kind: policy.PrimaryPath, Path: []string{"A", "B", "C"}, TC: topology.TrafficClass{Src: r, Dst: tt}},
+	}
+}
+
+// --- Figures 6-11 ---
+
+func benchFigure(b *testing.B, run func(*eval.Context) (*eval.Report, error)) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := eval.NewContext(benchCfg())
+		rep, err := run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("no rows produced")
+		}
+	}
+}
+
+func BenchmarkFig6PolicyMix(b *testing.B)      { benchFigure(b, eval.Fig6) }
+func BenchmarkFig7RepairTime(b *testing.B)     { benchFigure(b, eval.Fig7) }
+func BenchmarkFig8aPolicyClass(b *testing.B)   { benchFigure(b, eval.Fig8a) }
+func BenchmarkFig8bPolicyCount(b *testing.B)   { benchFigure(b, eval.Fig8b) }
+func BenchmarkFig8cNetworkSize(b *testing.B)   { benchFigure(b, eval.Fig8c) }
+func BenchmarkFig9Minimality(b *testing.B)     { benchFigure(b, eval.Fig9) }
+func BenchmarkFig11VsHandwritten(b *testing.B) { benchFigure(b, eval.Fig11) }
+
+// --- Ablations over CPR's design choices (DESIGN.md) ---
+
+// benchDCRepair times a repair of one mid-size corpus network.
+func benchDCRepair(b *testing.B, opts core.Options) {
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name: "bench", Routers: 8, Subnets: 14, BlockedFrac: 0.3,
+		FullyBlockedDsts: 1, Violations: 4, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := inst.Harc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Repair(h, inst.Policies, opts)
+		if err != nil || !res.Solved {
+			b.Fatalf("repair failed: %v %+v", err, res)
+		}
+	}
+}
+
+// Granularity ablation (the §5.3 scalability claim).
+func BenchmarkAblationGranularityPerDst(b *testing.B) {
+	benchDCRepair(b, core.DefaultOptions())
+}
+
+func BenchmarkAblationGranularityAllTCs(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Granularity = core.AllTCs
+	benchDCRepair(b, opts)
+}
+
+// MaxSAT algorithm ablation (linear descent vs core-guided Fu-Malik).
+func BenchmarkAblationMaxSATLinear(b *testing.B) {
+	benchDCRepair(b, core.DefaultOptions())
+}
+
+func BenchmarkAblationMaxSATFuMalik(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Algorithm = maxsat.FuMalik
+	benchDCRepair(b, opts)
+}
+
+// Parallel per-destination solving (the "10 problems in parallel" claim).
+func BenchmarkAblationParallel4(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Parallelism = 4
+	benchDCRepair(b, opts)
+}
+
+// Objective ablation: minimal devices changed instead of minimal lines
+// (§5.2's alternative objective).
+func BenchmarkAblationObjectiveDevices(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Objective = core.MinDevices
+	benchDCRepair(b, opts)
+}
+
+// Greedy graph-algorithm baseline (§5's rejected alternative): repairs
+// each violated policy in isolation with min-cut/max-flow, without
+// cross-policy reasoning or minimality guarantees.
+func BenchmarkAblationGreedyBaseline(b *testing.B) {
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name: "bench", Routers: 8, Subnets: 14, BlockedFrac: 0.3,
+		FullyBlockedDsts: 1, Violations: 4, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := inst.Harc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := greedy.Repair(h, inst.Policies); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkSubstrateSATRandom3SAT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		s := sat.New()
+		const nvars = 120
+		for v := 0; v < nvars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < 4*nvars; c++ {
+			s.AddClause(
+				sat.MkLit(sat.Var(r.Intn(nvars)), r.Intn(2) == 0),
+				sat.MkLit(sat.Var(r.Intn(nvars)), r.Intn(2) == 0),
+				sat.MkLit(sat.Var(r.Intn(nvars)), r.Intn(2) == 0),
+			)
+		}
+		s.Solve()
+	}
+}
+
+func BenchmarkSubstrateETGConstruction(b *testing.B) {
+	inst, err := generate.FatTree(generate.FatTreeOptions{K: 4, PC3: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := inst.Network
+	tcs := n.TrafficClasses()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slots := arc.Slots(n)
+		arc.BuildTCETG(slots, tcs[i%len(tcs)])
+	}
+}
+
+func BenchmarkSubstrateHARCBuild(b *testing.B) {
+	inst, err := generate.FatTree(generate.FatTreeOptions{K: 4, PC3: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		harc.Build(inst.Network)
+	}
+}
+
+func BenchmarkSubstrateParseExtract(b *testing.B) {
+	texts := config.Figure2aConfigs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cfgs []*config.Config
+		for name, text := range texts {
+			c, err := config.Parse(name, text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfgs = append(cfgs, c)
+		}
+		if _, err := config.Extract(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateFatTreeGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := generate.FatTree(generate.FatTreeOptions{K: 4, PC1: 2, PC3: 2, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateVerifyAllPolicies(b *testing.B) {
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name: "bench", Routers: 8, Subnets: 12, BlockedFrac: 0.3, Violations: 2, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := inst.Harc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.Violations(h, inst.Policies)
+	}
+}
+
+// Sanity: the bench configuration still produces a verifiable repair.
+func BenchmarkEndToEndPublicAPI(b *testing.B) {
+	texts := config.Figure2aConfigs()
+	for i := 0; i < b.N; i++ {
+		sys, err := Load(texts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec, err := sys.ParsePolicies(fmt.Sprintf("reachable S T %d\n", 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sys.Repair(spec, DefaultOptions())
+		if err != nil || !rep.Solved() {
+			b.Fatal("repair failed")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command cpr repairs network control-plane configurations against a
+// reachability policy specification.
+//
+// Usage:
+//
+//	cpr -configs DIR [-policies FILE] [flags]
+//
+// DIR must contain one *.cfg file per device. Without -policies, cpr
+// infers the PC1/PC3 policies the network currently satisfies and prints
+// them. With -policies, cpr verifies the specification and, if violated,
+// computes a minimal repair, prints the configuration diff, and (with
+// -out) writes the patched configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	cpr "repro"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/smt/maxsat"
+)
+
+func main() {
+	var (
+		configDir  = flag.String("configs", "", "directory of device *.cfg files (required)")
+		policyFile = flag.String("policies", "", "policy specification file; omit to infer policies")
+		outDir     = flag.String("out", "", "directory to write patched configurations")
+		verifyOnly = flag.Bool("verify", false, "verify only; do not repair")
+		granFlag   = flag.String("granularity", "per-dst", "MaxSMT granularity: per-dst or all-tcs")
+		algoFlag   = flag.String("algorithm", "linear", "MaxSAT algorithm: linear or fu-malik")
+		parallel   = flag.Int("parallel", 1, "parallel per-destination solves")
+		budget     = flag.Int64("budget", 0, "SAT conflict budget per problem (0 = unlimited)")
+	)
+	flag.Parse()
+	if *configDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configDir, *policyFile, *outDir, *verifyOnly, *granFlag, *algoFlag, *parallel, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "cpr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configDir, policyFile, outDir string, verifyOnly bool, granFlag, algoFlag string, parallel int, budget int64) error {
+	texts, err := readConfigs(configDir)
+	if err != nil {
+		return err
+	}
+	sys, err := cpr.Load(texts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d devices, %d subnets, %d links, %d traffic classes\n",
+		sys.Network.NumDevices(), len(sys.Network.Subnets), len(sys.Network.Links),
+		len(sys.Network.TrafficClasses()))
+
+	if policyFile == "" {
+		inferred := sys.InferPolicies()
+		fmt.Printf("# inferred policies (%d)\n%s", len(inferred), policy.Format(inferred))
+		return nil
+	}
+	specText, err := os.ReadFile(policyFile)
+	if err != nil {
+		return err
+	}
+	policies, err := sys.ParsePolicies(string(specText))
+	if err != nil {
+		return err
+	}
+	violated := sys.Verify(policies)
+	fmt.Printf("policies: %d total, %d violated\n", len(policies), len(violated))
+	for _, line := range sys.Explain(policies) {
+		fmt.Println("  ✗", line)
+	}
+	if verifyOnly || len(violated) == 0 {
+		return nil
+	}
+
+	opts := cpr.DefaultOptions()
+	switch granFlag {
+	case "per-dst":
+		opts.Granularity = cpr.PerDst
+	case "all-tcs":
+		opts.Granularity = cpr.AllTCs
+	default:
+		return fmt.Errorf("unknown granularity %q", granFlag)
+	}
+	switch algoFlag {
+	case "linear":
+		opts.Algorithm = maxsat.LinearDescent
+	case "fu-malik":
+		opts.Algorithm = maxsat.FuMalik
+	default:
+		return fmt.Errorf("unknown algorithm %q", algoFlag)
+	}
+	opts.Parallelism = parallel
+	opts.ConflictBudget = budget
+
+	rep, err := sys.Repair(policies, opts)
+	if err != nil {
+		return err
+	}
+	printStats(rep.Result)
+	if !rep.Solved() {
+		return fmt.Errorf("no repair found (specification unsatisfiable or budget exhausted)")
+	}
+	fmt.Printf("repair: %d configuration lines, %d waypoint changes\n",
+		rep.Plan.NumLines(), len(rep.Plan.Waypoints))
+	fmt.Print(rep.Plan)
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for host, text := range rep.PatchedConfigs {
+			path := filepath.Join(outDir, host+".cfg")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("patched configurations written to %s\n", outDir)
+	}
+	return nil
+}
+
+func printStats(res *core.Result) {
+	fmt.Printf("solved %d MaxSMT problem(s) in %v (sequential %v)\n",
+		len(res.Stats), res.Duration.Round(1e6), res.Sequential.Round(1e6))
+	for _, st := range res.Stats {
+		fmt.Printf("  %-12s tcs=%-4d policies=%-4d vars=%-7d softs=%-5d violated=%-3d %v %s\n",
+			st.Label, st.TCs, st.Policies, st.Vars, st.Softs, st.Violations,
+			st.Duration.Round(1e5), st.Status)
+	}
+}
+
+func readConfigs(dir string) (map[string]string, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "*.cfg"))
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no *.cfg files in %s", dir)
+	}
+	out := make(map[string]string, len(entries))
+	for _, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".cfg")
+		out[name] = string(data)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+// Command cpreval regenerates the paper's evaluation figures (§8).
+//
+// Usage:
+//
+//	cpreval [-experiment all|fig6|fig7|fig8a|fig8b|fig8c|fig9|fig11] [-scale quick|full]
+//
+// quick (default) preserves every trend at laptop scale; full mirrors
+// the paper's dimensions (96 networks, 1K-policy medians, 1500-policy
+// sweeps) and takes hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which figure to regenerate")
+		scale      = flag.String("scale", "quick", "quick or full")
+		networks   = flag.Int("networks", 0, "override corpus size")
+		subnets    = flag.Float64("subnet-scale", 0, "override subnet scale factor")
+	)
+	flag.Parse()
+
+	var cfg eval.Config
+	switch *scale {
+	case "quick":
+		cfg = eval.Quick()
+	case "full":
+		cfg = eval.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "cpreval: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *networks > 0 {
+		cfg.CorpusNetworks = *networks
+	}
+	if *subnets > 0 {
+		cfg.SubnetScale = *subnets
+	}
+	ctx := eval.NewContext(cfg)
+
+	experiments := map[string]func(*eval.Context) (*eval.Report, error){
+		"fig6":     eval.Fig6,
+		"fig7":     eval.Fig7,
+		"fig8a":    eval.Fig8a,
+		"fig8b":    eval.Fig8b,
+		"fig8c":    eval.Fig8c,
+		"fig9":     eval.Fig9,
+		"fig11":    eval.Fig11,
+		"ablation": eval.Ablation,
+	}
+	start := time.Now()
+	if *experiment == "all" {
+		reports, err := eval.All(ctx)
+		for _, r := range reports {
+			r.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpreval:", err)
+			os.Exit(1)
+		}
+	} else {
+		run, ok := experiments[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cpreval: unknown experiment %q\n", *experiment)
+			os.Exit(2)
+		}
+		r, err := run(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpreval:", err)
+			os.Exit(1)
+		}
+		r.Render(os.Stdout)
+	}
+	fmt.Fprintf(os.Stderr, "cpreval: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

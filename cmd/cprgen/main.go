@@ -1,0 +1,90 @@
+// Command cprgen generates the paper's evaluation workloads: vanilla
+// fat-tree configurations with PC1-PC4 policies (optionally broken, §8)
+// and synthetic data-center networks calibrated to the paper's corpus.
+//
+// Usage:
+//
+//	cprgen -type fattree -k 4 -pc1 3 -pc2 3 -pc3 3 -pc4 3 -break 4 -out DIR
+//	cprgen -type dc -routers 8 -subnets 32 -violations 4 -out DIR
+//
+// DIR receives one <device>.cfg per router plus policies.spec.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/generate"
+	"repro/internal/policy"
+)
+
+func main() {
+	var (
+		kind       = flag.String("type", "fattree", "workload type: fattree or dc")
+		outDir     = flag.String("out", "", "output directory (required)")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		k          = flag.Int("k", 4, "fattree: port count (even)")
+		spe        = flag.Int("subnets-per-edge", 1, "fattree: host subnets per edge switch")
+		pc1        = flag.Int("pc1", 3, "fattree: always-blocked policies")
+		pc2        = flag.Int("pc2", 3, "fattree: always-waypoint policies")
+		pc3        = flag.Int("pc3", 3, "fattree: reachability policies")
+		pc4        = flag.Int("pc4", 3, "fattree: primary-path policies")
+		breakN     = flag.Int("break", 0, "fattree: number of policies to violate (0 = leave intact)")
+		routers    = flag.Int("routers", 8, "dc: router count")
+		subnets    = flag.Int("subnets", 32, "dc: subnet count")
+		blocked    = flag.Float64("blocked-frac", 0.3, "dc: fraction of PC1 traffic classes")
+		violations = flag.Int("violations", 4, "dc: violated policies")
+	)
+	flag.Parse()
+	if *outDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var (
+		inst *generate.Instance
+		err  error
+	)
+	switch *kind {
+	case "fattree":
+		inst, err = generate.FatTree(generate.FatTreeOptions{
+			K: *k, SubnetsPerEdge: *spe, PC1: *pc1, PC2: *pc2, PC3: *pc3, PC4: *pc4, Seed: *seed,
+		})
+		if err == nil && *breakN > 0 {
+			err = generate.BreakFatTree(inst, *seed+1, *breakN)
+		}
+	case "dc":
+		inst, err = generate.DataCenter(generate.DCOptions{
+			Name: "dc", Routers: *routers, Subnets: *subnets,
+			BlockedFrac: *blocked, FullyBlockedDsts: 1, Violations: *violations, Seed: *seed,
+		})
+	default:
+		err = fmt.Errorf("unknown workload type %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cprgen:", err)
+		os.Exit(1)
+	}
+	if err := write(inst, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "cprgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d devices, %d subnets, %d policies, %d currently violated → %s\n",
+		inst.Name, inst.Network.NumDevices(), len(inst.Network.Subnets),
+		len(inst.Policies), len(inst.Violations()), *outDir)
+}
+
+func write(inst *generate.Instance, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, cfg := range inst.Configs {
+		path := filepath.Join(dir, name+".cfg")
+		if err := os.WriteFile(path, []byte(cfg.Print()), 0o644); err != nil {
+			return err
+		}
+	}
+	spec := policy.Format(inst.Policies)
+	return os.WriteFile(filepath.Join(dir, "policies.spec"), []byte(spec), 0o644)
+}

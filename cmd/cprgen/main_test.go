@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/generate"
+)
+
+func TestWriteInstance(t *testing.T) {
+	inst, err := generate.FatTree(generate.FatTreeOptions{K: 4, PC1: 2, PC3: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := write(inst, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.cfg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 20 {
+		t.Errorf("wrote %d configs, want 20", len(entries))
+	}
+	spec, err := os.ReadFile(filepath.Join(dir, "policies.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(spec), "always-blocked") || !strings.Contains(string(spec), "reachable") {
+		t.Errorf("spec content unexpected:\n%s", spec)
+	}
+}
+
+func TestWriteDataCenterInstance(t *testing.T) {
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name: "t", Routers: 6, Subnets: 8, BlockedFrac: 0.25, Violations: 2, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := write(inst, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spine0.cfg")); err != nil {
+		t.Error("spine config missing")
+	}
+}

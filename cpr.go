@@ -1,0 +1,168 @@
+// Package cpr is the public API of this CPR reproduction: automatic,
+// minimal repair of distributed network control-plane configurations
+// against reachability policies, after "Automatically Repairing Network
+// Control Planes Using an Abstract Representation" (SOSP 2017).
+//
+// Typical use:
+//
+//	sys, err := cpr.Load(map[string]string{"A": cfgA, "B": cfgB, "C": cfgC})
+//	policies, err := sys.ParsePolicies("reachable S T 2\nalways-blocked S U\n")
+//	violated := sys.Verify(policies)
+//	rep, err := sys.Repair(policies, cpr.DefaultOptions())
+//	fmt.Print(rep.Plan)                  // diff-style config changes
+//	text := rep.PatchedConfigs["A"]      // repaired configuration text
+//
+// The heavy lifting lives in internal packages: internal/arc and
+// internal/harc implement the (hierarchical) abstract representation,
+// internal/core the MaxSMT repair engine over a from-scratch CDCL
+// SAT/MaxSAT stack (internal/smt/...), and internal/translate the
+// mapping from repaired models back to configuration lines.
+package cpr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/translate"
+)
+
+// Re-exported types, so most callers need only this package.
+type (
+	// Policy is one reachability requirement (PC1-PC4 of the paper).
+	Policy = policy.Policy
+	// Options configures the repair engine (granularity, MaxSAT
+	// algorithm, parallelism, cost widths, budgets).
+	Options = core.Options
+	// Result carries solver-level statistics of a repair.
+	Result = core.Result
+	// Plan is the translated set of configuration line changes.
+	Plan = translate.Plan
+	// Network is the semantic network model.
+	Network = topology.Network
+	// TrafficClass is an ordered (source, destination) subnet pair.
+	TrafficClass = topology.TrafficClass
+)
+
+// Policy class constants (Table 1).
+const (
+	AlwaysBlocked  = policy.AlwaysBlocked
+	AlwaysWaypoint = policy.AlwaysWaypoint
+	KReachable     = policy.KReachable
+	PrimaryPath    = policy.PrimaryPath
+)
+
+// Granularities of the MaxSMT decomposition (§5.3).
+const (
+	AllTCs = core.AllTCs
+	PerDst = core.PerDst
+)
+
+// DefaultOptions returns the paper's default configuration
+// (maxsmt-per-dst, exact linear MaxSAT).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// System is a loaded network: parsed configurations, the extracted
+// semantic model, and its HARC.
+type System struct {
+	Configs map[string]*config.Config
+	Network *Network
+	HARC    *harc.HARC
+}
+
+// Load parses the given configurations (keyed by any label; hostnames
+// come from the text) and builds the network model and HARC.
+func Load(configs map[string]string) (*System, error) {
+	keys := make([]string, 0, len(configs))
+	for k := range configs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parsed []*config.Config
+	byHost := make(map[string]*config.Config, len(configs))
+	for _, k := range keys {
+		c, err := config.Parse(k, configs[k])
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, c)
+		byHost[c.Hostname] = c
+	}
+	n, err := config.Extract(parsed)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Configs: byHost, Network: n, HARC: harc.Build(n)}, nil
+}
+
+// ParsePolicies parses a policy specification (one policy per line; see
+// the README for the grammar) against the system's subnets and devices.
+func (s *System) ParsePolicies(text string) ([]Policy, error) {
+	return policy.Parse(s.Network, text)
+}
+
+// InferPolicies derives the PC1/PC3 policies the network currently
+// satisfies, the procedure used for networks without a written
+// specification (§8).
+func (s *System) InferPolicies() []Policy {
+	return policy.Infer(s.Network)
+}
+
+// Verify returns the policies the network currently violates.
+func (s *System) Verify(policies []Policy) []Policy {
+	return policy.Violations(s.HARC, policies)
+}
+
+// Explain returns one human-readable counterexample line per violated
+// policy: the offending path, the disconnecting failure scenario, or the
+// shortcut taken instead of the primary path.
+func (s *System) Explain(policies []Policy) []string {
+	return policy.ExplainAll(s.HARC, policies)
+}
+
+// Repair computes a minimal repair satisfying every policy and
+// translates it to configuration patches. The receiver is not modified;
+// patched configuration texts are returned in RepairOutput.
+func (s *System) Repair(policies []Policy, opts Options) (*RepairOutput, error) {
+	res, err := core.Repair(s.HARC, policies, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &RepairOutput{Result: res}
+	if !res.Solved {
+		return out, nil
+	}
+	if bad := core.VerifyRepair(s.HARC, res.State, policies); len(bad) != 0 {
+		return nil, fmt.Errorf("cpr: internal error: repair violates %d policies (first: %s)", len(bad), bad[0])
+	}
+	cfgs, err := translate.CloneConfigs(s.Configs)
+	if err != nil {
+		return nil, err
+	}
+	orig := harc.StateOf(s.HARC)
+	plan, err := translate.Translate(s.HARC, orig, res.State, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out.Plan = plan
+	out.PatchedConfigs = make(map[string]string, len(cfgs))
+	for host, c := range cfgs {
+		out.PatchedConfigs[host] = c.Print()
+	}
+	return out, nil
+}
+
+// RepairOutput bundles a repair's solver result, its configuration
+// patch plan, and the patched configuration texts.
+type RepairOutput struct {
+	Result         *Result
+	Plan           *Plan
+	PatchedConfigs map[string]string
+}
+
+// Solved reports whether every sub-problem found an optimal repair.
+func (r *RepairOutput) Solved() bool { return r.Result != nil && r.Result.Solved }

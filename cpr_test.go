@@ -1,0 +1,148 @@
+package cpr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func loadFigure2a(t *testing.T) *System {
+	t.Helper()
+	sys, err := Load(config.Figure2aConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+const figure2aSpec = `# §2.2 example policies
+always-blocked S U
+always-waypoint S T
+reachable S T 2
+primary-path R T A,B,C
+`
+
+func TestLoadAndVerify(t *testing.T) {
+	sys := loadFigure2a(t)
+	if sys.Network.NumDevices() != 3 {
+		t.Fatalf("devices = %d", sys.Network.NumDevices())
+	}
+	policies, err := sys.ParsePolicies(figure2aSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := sys.Verify(policies)
+	if len(violated) != 1 || violated[0].Kind != KReachable {
+		t.Fatalf("violated = %v, want just EP3", violated)
+	}
+}
+
+func TestPublicRepairEndToEnd(t *testing.T) {
+	sys := loadFigure2a(t)
+	policies, err := sys.ParsePolicies(figure2aSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Repair(policies, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved() {
+		t.Fatalf("unsolved: %+v", rep.Result.Stats)
+	}
+	if rep.Plan.NumLines() == 0 {
+		t.Fatal("expected configuration changes")
+	}
+	// Patched configs re-load and satisfy the spec.
+	sys2, err := Load(rep.PatchedConfigs)
+	if err != nil {
+		t.Fatalf("patched configs do not load: %v", err)
+	}
+	policies2, err := sys2.ParsePolicies(figure2aSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sys2.Verify(policies2); len(v) != 0 {
+		t.Fatalf("patched network violates: %v\nplan:\n%s", v, rep.Plan)
+	}
+	// The original system is untouched.
+	if v := sys.Verify(policies); len(v) != 1 {
+		t.Error("Repair must not mutate the receiver")
+	}
+}
+
+func TestExplainPublicAPI(t *testing.T) {
+	sys := loadFigure2a(t)
+	policies, err := sys.ParsePolicies(figure2aSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := sys.Explain(policies)
+	if len(lines) != 1 {
+		t.Fatalf("expected one witness (EP3), got %v", lines)
+	}
+	if !strings.Contains(lines[0], "link") {
+		t.Errorf("EP3 witness should name a failing link: %q", lines[0])
+	}
+}
+
+func TestInferPolicies(t *testing.T) {
+	sys := loadFigure2a(t)
+	inferred := sys.InferPolicies()
+	if len(inferred) != 12 {
+		t.Fatalf("inferred = %d, want one per traffic class", len(inferred))
+	}
+	if v := sys.Verify(inferred); len(v) != 0 {
+		t.Errorf("inferred policies must hold: %v", v)
+	}
+}
+
+func TestRepairUnsatisfiableSpecReported(t *testing.T) {
+	sys := loadFigure2a(t)
+	policies, err := sys.ParsePolicies("always-blocked S T\nreachable S T 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Repair(policies, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solved() {
+		t.Error("contradictory spec should be unsolvable")
+	}
+	if rep.Plan != nil {
+		t.Error("no plan should be produced for unsolvable specs")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(map[string]string{"x": "bogus config\n"}); err == nil {
+		t.Error("bad config should fail to load")
+	}
+	if _, err := Load(map[string]string{
+		"a": "hostname dup\n",
+		"b": "hostname dup\n",
+	}); err == nil {
+		t.Error("duplicate hostnames should fail")
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	sys := loadFigure2a(t)
+	policies, err := sys.ParsePolicies("reachable S T 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Repair(policies, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved() {
+		t.Fatal("unsolved")
+	}
+	text := rep.Plan.String()
+	if !strings.Contains(text, "ip route") {
+		t.Errorf("expected a static route in the plan:\n%s", text)
+	}
+}

@@ -1,0 +1,81 @@
+// Data-center repair vs a hand-written repair: the Figure 11 comparison.
+//
+// Generates one synthetic data-center network in the style of the
+// paper's 96-network corpus (leaf-spine, ~1 policy per traffic class,
+// a few violated policies), repairs it with CPR, simulates an operator
+// fixing the same violations by hand, and compares the two repairs by
+// lines of configuration changed and traffic classes impacted.
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/generate"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/translate"
+)
+
+func main() {
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name:    "dc-example",
+		Routers: 8, Subnets: 24,
+		BlockedFrac:      0.3,
+		FullyBlockedDsts: 1,
+		Violations:       5,
+		Seed:             42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := policy.CountByKind(inst.Policies)
+	fmt.Printf("%s: %d routers, %d subnets, %d policies (%d PC1 / %d PC3)\n",
+		inst.Name, inst.Network.NumDevices(), len(inst.Network.Subnets),
+		len(inst.Policies), counts[policy.AlwaysBlocked], counts[policy.KReachable])
+
+	violated := inst.Violations()
+	fmt.Printf("\nthe snapshot violates %d policies:\n", len(violated))
+	for _, p := range violated {
+		fmt.Println("  ✗", p)
+	}
+
+	// CPR's repair.
+	h := inst.Harc()
+	orig := harc.StateOf(h)
+	res, err := core.Repair(h, inst.Policies, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Solved {
+		log.Fatal("CPR found no repair")
+	}
+	cfgs, err := translate.CloneConfigs(inst.Configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := translate.Translate(h, orig, res.State, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cprImpact := len(translate.ImpactedTCs(h, orig, res.State))
+
+	// The simulated operator's repair of the same violations.
+	op, err := generate.SimulateOperator(inst, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := len(h.TCs)
+	fmt.Printf("\n%-22s %12s %18s\n", "", "lines", "TCs impacted")
+	fmt.Printf("%-22s %12d %11d (%.1f%%)\n", "CPR", plan.NumLines(), cprImpact,
+		100*float64(cprImpact)/float64(total))
+	fmt.Printf("%-22s %12d %11d (%.1f%%)\n", "hand-written", op.Lines, op.ImpactedTCs,
+		100*float64(op.ImpactedTCs)/float64(total))
+
+	fmt.Println("\nCPR's patch:")
+	fmt.Print(plan)
+}

@@ -1,0 +1,191 @@
+package arc
+
+import (
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Level selects which control-plane constructs an ETG models.
+type Level int
+
+// Abstraction levels (paper §4.3).
+const (
+	// LevelAll models routing adjacencies and redistribution only (aETG).
+	LevelAll Level = iota
+	// LevelDst additionally models route filters and static routes (dETG).
+	LevelDst
+	// LevelTC additionally models ACLs (tcETG).
+	LevelTC
+)
+
+// ETG is an extended topology graph: the per-level digraph derived from a
+// network's slot table. Src/Dst are graph.None at levels where the vertex
+// does not apply (aETG has neither; dETGs have no single SRC).
+type ETG struct {
+	Level     Level
+	TC        topology.TrafficClass // set for LevelTC
+	DstSubnet *topology.Subnet      // set for LevelDst and LevelTC
+
+	G   *graph.Digraph
+	Src graph.V
+	Dst graph.V
+
+	// SlotOf maps each edge to the slot it instantiates; EdgeOf is the
+	// inverse keyed by Slot.Key().
+	SlotOf map[graph.E]*Slot
+	EdgeOf map[string]graph.E
+
+	// Waypoints, when non-nil, overrides link waypoint presence (keyed by
+	// Link.Name()). Used when verifying repaired states that add or
+	// remove middleboxes.
+	Waypoints map[string]bool
+}
+
+// builder assembles an ETG from the subset of slots present at a level.
+type builder struct {
+	etg *ETG
+}
+
+func newBuilder(level Level) *builder {
+	return &builder{etg: &ETG{
+		Level:  level,
+		G:      graph.New(),
+		Src:    graph.V(graph.None),
+		Dst:    graph.V(graph.None),
+		SlotOf: make(map[graph.E]*Slot),
+		EdgeOf: make(map[string]graph.E),
+	}}
+}
+
+func (b *builder) add(s *Slot, weight int64) {
+	from := b.etg.G.AddVertex(s.FromVertex())
+	to := b.etg.G.AddVertex(s.ToVertex())
+	e := b.etg.G.AddEdge(from, to, weight)
+	b.etg.SlotOf[e] = s
+	b.etg.EdgeOf[s.Key()] = e
+	if s.Kind == SlotSource {
+		b.etg.Src = from
+	}
+	if s.Kind == SlotDest {
+		b.etg.Dst = to
+	}
+}
+
+// BuildTCETG builds the traffic-class ETG for tc (Algorithm 1).
+func BuildTCETG(slots []*Slot, tc topology.TrafficClass) *ETG {
+	b := newBuilder(LevelTC)
+	b.etg.TC = tc
+	b.etg.DstSubnet = tc.Dst
+	// Always materialize SRC and DST so verification is well-defined even
+	// when every attachment edge is blocked.
+	b.etg.Src = b.etg.G.AddVertex("SRC")
+	b.etg.Dst = b.etg.G.AddVertex("DST")
+	for _, s := range slots {
+		if s.Kind == SlotSource && s.Subnet != tc.Src {
+			continue
+		}
+		if s.Kind == SlotDest && s.Subnet != tc.Dst {
+			continue
+		}
+		if s.PresentTC(tc) {
+			b.add(s, s.Weight(tc.Dst))
+		}
+	}
+	return b.etg
+}
+
+// BuildDstETG builds the destination ETG for dst: route filters and static
+// routes apply, ACLs do not, and all sources are represented (source slots
+// are omitted; the DST vertex is present).
+func BuildDstETG(slots []*Slot, dst *topology.Subnet) *ETG {
+	b := newBuilder(LevelDst)
+	b.etg.DstSubnet = dst
+	b.etg.Dst = b.etg.G.AddVertex("DST")
+	for _, s := range slots {
+		if s.Kind == SlotSource {
+			continue
+		}
+		if s.Kind == SlotDest && s.Subnet != dst {
+			continue
+		}
+		if s.PresentDst(dst) {
+			b.add(s, s.Weight(dst))
+		}
+	}
+	return b.etg
+}
+
+// BuildAllETG builds the aETG: adjacencies and redistribution only.
+func BuildAllETG(slots []*Slot) *ETG {
+	b := newBuilder(LevelAll)
+	for _, s := range slots {
+		if s.Kind == SlotSource || s.Kind == SlotDest {
+			continue
+		}
+		if s.PresentAll() {
+			b.add(s, s.Weight(nil))
+		}
+	}
+	return b.etg
+}
+
+// HasSlot reports whether the slot's edge is present in the ETG.
+func (e *ETG) HasSlot(s *Slot) bool {
+	_, ok := e.EdgeOf[s.Key()]
+	return ok
+}
+
+// WaypointEdge reports whether edge id carries a waypoint, honoring the
+// Waypoints override for inter-device edges.
+func (e *ETG) WaypointEdge(id graph.E) bool {
+	s := e.SlotOf[id]
+	if s == nil {
+		return false
+	}
+	if e.Waypoints != nil && s.Kind == SlotInterDevice {
+		if v, ok := e.Waypoints[s.Link.Name()]; ok {
+			return v
+		}
+	}
+	return s.Waypoint()
+}
+
+// WithoutLinks returns a copy of the ETG with every inter-device edge over
+// one of the given (failed) physical links removed.
+func (e *ETG) WithoutLinks(failed map[*topology.Link]bool) *ETG {
+	c := &ETG{
+		Level: e.Level, TC: e.TC, DstSubnet: e.DstSubnet,
+		G: e.G.Clone(), Src: e.Src, Dst: e.Dst,
+		SlotOf: e.SlotOf, EdgeOf: e.EdgeOf,
+	}
+	for id, s := range e.SlotOf {
+		if s.Kind == SlotInterDevice && failed[s.Link] {
+			c.G.RemoveEdge(id)
+		}
+	}
+	return c
+}
+
+// DevicePath collapses an ETG vertex path into the sequence of device
+// names it traverses (SRC/DST vertices are dropped).
+func (e *ETG) DevicePath(path []graph.V) []string {
+	var out []string
+	for _, v := range path {
+		name := e.G.Name(v)
+		if name == "SRC" || name == "DST" {
+			continue
+		}
+		// Vertex names are "<device>:<proto><id>:<I|O>".
+		dev := name
+		for i := 0; i < len(name); i++ {
+			if name[i] == ':' {
+				dev = name[:i]
+				break
+			}
+		}
+		if len(out) == 0 || out[len(out)-1] != dev {
+			out = append(out, dev)
+		}
+	}
+	return out
+}

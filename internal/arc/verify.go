@@ -1,0 +1,94 @@
+package arc
+
+import (
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// VerifyAlwaysBlocked implements PC1 of Table 1: SRC and DST are in
+// separate components of the tcETG, i.e. no path exists under any failure
+// combination (ETGs are pathset-equivalent, so absence of a path in the
+// full ETG implies absence under every failure).
+func VerifyAlwaysBlocked(e *ETG) bool {
+	return !e.G.PathExists(e.Src, e.Dst)
+}
+
+// VerifyAlwaysWaypoint implements PC2 of Table 1: after removing edges
+// with waypoints, SRC and DST are in separate components, i.e. every
+// possible path traverses a waypoint.
+func VerifyAlwaysWaypoint(e *ETG) bool {
+	return !e.G.PathExistsAvoiding(e.Src, e.Dst, func(id graph.E) bool {
+		return e.WaypointEdge(id)
+	})
+}
+
+// MaxDisjointFlow returns the max-flow from SRC to DST in the unit-weight
+// ETG (Table 1's PC3 characteristic): inter-device edges have capacity 1,
+// intra-device and attachment edges are uncapacitated.
+func MaxDisjointFlow(e *ETG) int {
+	const big = int64(1) << 40
+	flow, _ := e.G.MaxFlow(e.Src, e.Dst, func(id graph.E) int64 {
+		if s := e.SlotOf[id]; s != nil && s.Kind == SlotInterDevice {
+			return 1
+		}
+		return big
+	})
+	return int(flow)
+}
+
+// VerifyKReachable implements PC3 of Table 1 exactly: SRC can reach DST
+// whenever fewer than k physical links have failed. It enumerates every
+// (k-1)-subset of the network's links and checks connectivity of the
+// surviving tcETG, which is the ground-truth semantics of "reachable under
+// < k failures".
+func VerifyKReachable(e *ETG, n *topology.Network, k int) bool {
+	if k < 1 {
+		return true
+	}
+	links := n.Links
+	// Connectivity under failing a set S implies connectivity under every
+	// subset of S, so checking all subsets of size exactly m suffices —
+	// where m is capped at the number of links actually available.
+	m := k - 1
+	if m > len(links) {
+		m = len(links)
+	}
+	failed := make(map[*topology.Link]bool)
+	var rec func(start, remaining int) bool
+	rec = func(start, remaining int) bool {
+		if remaining == 0 {
+			return e.WithoutLinks(failed).G.PathExists(e.Src, e.Dst)
+		}
+		for i := start; i <= len(links)-remaining; i++ {
+			failed[links[i]] = true
+			ok := rec(i+1, remaining-1)
+			delete(failed, links[i])
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, m)
+}
+
+// VerifyPrimaryPath implements PC4 of Table 1: in the absence of failures,
+// traffic from SRC to DST uses exactly the given device path, i.e. the
+// ETG's shortest SRC→DST path is unique and collapses to that device
+// sequence.
+func VerifyPrimaryPath(e *ETG, devices []string) bool {
+	path, unique := e.G.ShortestPathUnique(e.Src, e.Dst)
+	if path == nil || !unique {
+		return false
+	}
+	got := e.DevicePath(path)
+	if len(got) != len(devices) {
+		return false
+	}
+	for i := range got {
+		if got[i] != devices[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diff compares two configurations of the same device and returns the
+// line-level changes from old to new, attributed to their enclosing
+// stanzas. This is how the paper extracts hand-written repairs from
+// successive configuration snapshots (§8.3: "diff'ing" them); the
+// operator simulator's line counts are validated against it.
+func Diff(old, new *Config) []LineChange {
+	oldLines := sectionedLines(old)
+	newLines := sectionedLines(new)
+	var out []LineChange
+
+	type key struct{ section, line string }
+	oldCount := map[key]int{}
+	for _, sl := range oldLines {
+		oldCount[key{sl.section, sl.line}]++
+	}
+	newCount := map[key]int{}
+	for _, sl := range newLines {
+		newCount[key{sl.section, sl.line}]++
+	}
+	seen := map[key]bool{}
+	for _, sl := range append(append([]sectionLine{}, oldLines...), newLines...) {
+		k := key{sl.section, sl.line}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		delta := newCount[k] - oldCount[k]
+		for ; delta > 0; delta-- {
+			out = append(out, LineChange{Device: new.Hostname, Op: OpAdd, Section: k.section, Line: k.line})
+		}
+		for ; delta < 0; delta++ {
+			out = append(out, LineChange{Device: old.Hostname, Op: OpRemove, Section: k.section, Line: k.line})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Section != out[j].Section {
+			return out[i].Section < out[j].Section
+		}
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// DiffConfigs diffs two whole-network snapshots keyed by hostname,
+// including devices present on only one side.
+func DiffConfigs(old, new map[string]*Config) []LineChange {
+	var names []string
+	seen := map[string]bool{}
+	for name := range old {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range new {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []LineChange
+	for _, name := range names {
+		o, n := old[name], new[name]
+		switch {
+		case o == nil:
+			for _, sl := range sectionedLines(n) {
+				out = append(out, LineChange{Device: name, Op: OpAdd, Section: sl.section, Line: sl.line})
+			}
+		case n == nil:
+			for _, sl := range sectionedLines(o) {
+				out = append(out, LineChange{Device: name, Op: OpRemove, Section: sl.section, Line: sl.line})
+			}
+		default:
+			out = append(out, Diff(o, n)...)
+		}
+	}
+	return out
+}
+
+type sectionLine struct {
+	section string
+	line    string
+}
+
+// sectionedLines flattens the canonical printed form into (stanza header,
+// trimmed line) pairs, skipping headers themselves and separators.
+func sectionedLines(c *Config) []sectionLine {
+	if c == nil {
+		return nil
+	}
+	var out []sectionLine
+	section := ""
+	for _, raw := range strings.Split(c.Print(), "\n") {
+		if raw == "" || raw == "!" {
+			continue
+		}
+		if !strings.HasPrefix(raw, " ") {
+			if strings.HasPrefix(raw, "hostname ") {
+				section = ""
+				continue
+			}
+			if strings.HasPrefix(raw, "ip route ") || raw == "waypoint" {
+				// Top-level single-line statements.
+				out = append(out, sectionLine{"", raw})
+				section = ""
+				continue
+			}
+			section = raw // stanza header
+			continue
+		}
+		out = append(out, sectionLine{section, strings.TrimSpace(raw)})
+	}
+	return out
+}
+
+// FormatDiff renders changes as a unified-style listing.
+func FormatDiff(changes []LineChange) string {
+	var b strings.Builder
+	for _, c := range changes {
+		fmt.Fprintln(&b, c.String())
+	}
+	return b.String()
+}

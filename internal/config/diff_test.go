@@ -1,0 +1,114 @@
+package config
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a, err := Parse("A", Figure2aConfigs()["A"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("A", Figure2aConfigs()["A"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(a, b); len(d) != 0 {
+		t.Errorf("identical configs diff: %v", d)
+	}
+}
+
+func TestDiffAddedStatic(t *testing.T) {
+	a, _ := Parse("A", Figure2aConfigs()["A"])
+	b, _ := Parse("A", Figure2aConfigs()["A"])
+	b.AddStaticRoute(netip.MustParsePrefix("10.20.0.0/16"), netip.MustParseAddr("10.0.2.3"), 3)
+	d := Diff(a, b)
+	if len(d) != 1 || d[0].Op != OpAdd || !strings.Contains(d[0].Line, "ip route") {
+		t.Fatalf("diff = %v", d)
+	}
+}
+
+func TestDiffACLEntryChange(t *testing.T) {
+	a, _ := Parse("B", Figure2aConfigs()["B"])
+	b, _ := Parse("B", Figure2aConfigs()["B"])
+	if _, err := b.RemoveACLDeny("Ethernet0/1", "in", netip.Prefix{}, netip.MustParsePrefix("10.40.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, b)
+	if len(d) != 1 || d[0].Op != OpRemove {
+		t.Fatalf("diff = %v", d)
+	}
+	if !strings.Contains(d[0].Section, "BLOCK-U") {
+		t.Errorf("wrong section: %v", d[0])
+	}
+}
+
+func TestDiffPassiveChange(t *testing.T) {
+	a, _ := Parse("C", Figure2aConfigs()["C"])
+	b, _ := Parse("C", Figure2aConfigs()["C"])
+	if _, err := b.EnableAdjacency(topology.OSPF, 10, "Ethernet0/1"); err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, b)
+	if len(d) != 1 || d[0].Op != OpRemove || !strings.Contains(d[0].Line, "passive-interface") {
+		t.Fatalf("diff = %v", d)
+	}
+}
+
+func TestDiffCountsMatchMutatorReports(t *testing.T) {
+	// The line changes reported by the mutators must equal the textual
+	// diff of before/after configurations.
+	before, _ := Parse("B", Figure2aConfigs()["B"])
+	after, _ := Parse("B", Figure2aConfigs()["B"])
+	var reported int
+	lcs, err := after.AddACLDeny("Ethernet0/2", "out", netip.MustParsePrefix("10.30.0.0/16"), netip.MustParsePrefix("10.20.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported += len(lcs)
+	lcs2, err := after.DisableAdjacency(topology.OSPF, 10, "Ethernet0/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported += len(lcs2)
+	d := Diff(before, after)
+	if len(d) != reported {
+		t.Errorf("textual diff %d lines, mutators reported %d:\n%s", len(d), reported, FormatDiff(d))
+	}
+}
+
+func TestDiffConfigsDeviceAddRemove(t *testing.T) {
+	a, _ := Parse("A", Figure2aConfigs()["A"])
+	c, _ := Parse("C", Figure2aConfigs()["C"])
+	old := map[string]*Config{"A": a}
+	new := map[string]*Config{"A": a, "C": c}
+	d := DiffConfigs(old, new)
+	if len(d) == 0 {
+		t.Fatal("added device should produce additions")
+	}
+	for _, lc := range d {
+		if lc.Op != OpAdd || lc.Device != "C" {
+			t.Errorf("unexpected change %v", lc)
+		}
+	}
+	rev := DiffConfigs(new, old)
+	if len(rev) != len(d) {
+		t.Errorf("reverse diff %d lines, want %d", len(rev), len(d))
+	}
+	for _, lc := range rev {
+		if lc.Op != OpRemove {
+			t.Errorf("unexpected change %v", lc)
+		}
+	}
+}
+
+func TestFormatDiff(t *testing.T) {
+	d := []LineChange{{Device: "A", Op: OpAdd, Line: "x"}}
+	if !strings.Contains(FormatDiff(d), "+ A: x") {
+		t.Errorf("FormatDiff = %q", FormatDiff(d))
+	}
+}

@@ -1,0 +1,92 @@
+package config
+
+// Figure2aConfigs returns the configuration texts for the three routers of
+// the paper's Figure 2a example (router C's config matches Figure 1). The
+// extracted network is semantically identical to topology.Figure2a.
+func Figure2aConfigs() map[string]string {
+	return map[string]string{
+		"A": `hostname A
+!
+interface Ethernet0/1
+ description Link-to-B
+ ip address 10.0.1.1 255.255.255.0
+!
+interface Ethernet0/2
+ description Link-to-C
+ ip address 10.0.2.1 255.255.255.0
+!
+interface Ethernet0/3
+ description Subnet-R
+ ip address 10.10.0.1 255.255.0.0
+!
+interface Ethernet0/4
+ description Subnet-S
+ ip address 10.30.0.1 255.255.0.0
+!
+router ospf 10
+ redistribute connected
+ passive-interface Ethernet0/3
+ passive-interface Ethernet0/4
+ network 10.0.0.0 0.255.255.255 area 0
+`,
+		"B": `hostname B
+!
+interface Ethernet0/1
+ description Link-to-A
+ ip address 10.0.1.2 255.255.255.0
+ ip access-group BLOCK-U in
+!
+interface Ethernet0/2
+ description Link-to-C
+ ip address 10.0.3.2 255.255.255.0
+ waypoint
+!
+interface Ethernet0/3
+ description Subnet-U
+ ip address 10.40.0.1 255.255.0.0
+!
+ip access-list extended BLOCK-U
+ deny ip any 10.40.0.0 0.0.255.255
+ permit ip any any
+!
+router ospf 10
+ redistribute connected
+ passive-interface Ethernet0/3
+ network 10.0.0.0 0.255.255.255 area 0
+`,
+		"C": `hostname C
+!
+interface Ethernet0/1
+ description Link-to-A
+ ip address 10.0.2.3 255.255.255.0
+!
+interface Ethernet0/2
+ description Link-to-B
+ ip address 10.0.3.3 255.255.255.0
+!
+interface Ethernet0/3
+ description Subnet-T
+ ip address 10.20.0.1 255.255.0.0
+!
+router ospf 10
+ redistribute connected
+ passive-interface Ethernet0/1
+ passive-interface Ethernet0/3
+ network 10.0.0.0 0.255.255.255 area 0
+`,
+	}
+}
+
+// ParseFigure2a parses the Figure 2a fixture configurations.
+func ParseFigure2a() ([]*Config, error) {
+	texts := Figure2aConfigs()
+	var configs []*Config
+	for _, name := range []string{"A", "B", "C"} {
+		cfg, err := Parse(name+".cfg", texts[name])
+		if err != nil {
+			return nil, err
+		}
+		configs = append(configs, cfg)
+	}
+	return configs, nil
+}

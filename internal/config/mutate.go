@@ -1,0 +1,379 @@
+package config
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/topology"
+)
+
+// Op is the kind of a single-line configuration edit.
+type Op int
+
+// Line edit operations.
+const (
+	OpAdd Op = iota
+	OpRemove
+	OpModify
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpRemove:
+		return "-"
+	case OpModify:
+		return "~"
+	}
+	return "?"
+}
+
+// LineChange records one line of configuration added, removed, or modified
+// on a device. The paper's minimality objective counts these.
+type LineChange struct {
+	Device  string
+	Op      Op
+	Section string // enclosing stanza header, or "" for top level
+	Line    string
+}
+
+// String renders the change as a diff-style line.
+func (lc LineChange) String() string {
+	where := lc.Device
+	if lc.Section != "" {
+		where += " [" + lc.Section + "]"
+	}
+	return fmt.Sprintf("%s %s: %s", lc.Op, where, lc.Line)
+}
+
+// sectionRouter names a router stanza for LineChange.Section.
+func sectionRouter(proto topology.Protocol, id int) string {
+	return fmt.Sprintf("router %s %d", proto, id)
+}
+
+// sectionACL names an ACL stanza.
+func sectionACL(name string) string { return "ip access-list extended " + name }
+
+// sectionInterface names an interface stanza.
+func sectionInterface(name string) string { return "interface " + name }
+
+// AddACLDeny ensures traffic (src→dst) is denied when crossing intf in the
+// given direction ("in" or "out"). If no ACL is attached it creates one
+// (deny entry plus trailing permit-any) and attaches it; if one is attached
+// it prepends a deny entry. Returns the line edits performed.
+func (c *Config) AddACLDeny(intfName, dir string, src, dst netip.Prefix) ([]LineChange, error) {
+	intf := c.Interface(intfName)
+	if intf == nil {
+		return nil, fmt.Errorf("config: %s has no interface %s", c.Hostname, intfName)
+	}
+	aclName := intf.InACL
+	if dir == "out" {
+		aclName = intf.OutACL
+	}
+	entry := ACLEntryLine{Permit: false, Src: src, Dst: dst}
+	if aclName == "" {
+		// Create a fresh ACL and attach it.
+		aclName = fmt.Sprintf("CPR-%s-%s", intfName, dir)
+		for i := 2; c.ACL(aclName) != nil; i++ {
+			aclName = fmt.Sprintf("CPR-%s-%s-%d", intfName, dir, i)
+		}
+		acl := &ACLStanza{Name: aclName, Entries: []ACLEntryLine{entry, {Permit: true}}}
+		c.ACLs = append(c.ACLs, acl)
+		attach := fmt.Sprintf("ip access-group %s %s", aclName, dir)
+		if dir == "out" {
+			intf.OutACL = aclName
+		} else {
+			intf.InACL = aclName
+		}
+		return []LineChange{
+			{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: entry.text()},
+			{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: "permit ip any any"},
+			{Device: c.Hostname, Op: OpAdd, Section: sectionInterface(intfName), Line: attach},
+		}, nil
+	}
+	acl := c.ACL(aclName)
+	if acl == nil {
+		return nil, fmt.Errorf("config: %s references missing ACL %s", c.Hostname, aclName)
+	}
+	// Idempotence: if the ACL already denies the pair, nothing to do
+	// (shared ACLs across interfaces hit this).
+	if acl.Blocks(src, dst) {
+		return nil, nil
+	}
+	// Prepending a deny is always correct and costs a single line.
+	acl.Entries = append([]ACLEntryLine{entry}, acl.Entries...)
+	return []LineChange{
+		{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: entry.text()},
+	}, nil
+}
+
+// RemoveACLDeny ensures traffic (src→dst) is permitted across intf in the
+// given direction: if the attached ACL has a deny entry exactly matching
+// the pair it is removed, otherwise a permit entry is prepended.
+func (c *Config) RemoveACLDeny(intfName, dir string, src, dst netip.Prefix) ([]LineChange, error) {
+	intf := c.Interface(intfName)
+	if intf == nil {
+		return nil, fmt.Errorf("config: %s has no interface %s", c.Hostname, intfName)
+	}
+	aclName := intf.InACL
+	if dir == "out" {
+		aclName = intf.OutACL
+	}
+	if aclName == "" {
+		return nil, nil // nothing blocks; no change needed
+	}
+	acl := c.ACL(aclName)
+	if acl == nil {
+		return nil, fmt.Errorf("config: %s references missing ACL %s", c.Hostname, aclName)
+	}
+	if !acl.Blocks(src, dst) {
+		return nil, nil // already permitted; idempotent
+	}
+	for i, e := range acl.Entries {
+		if !e.Permit && e.Src == src && e.Dst == dst {
+			acl.Entries = append(acl.Entries[:i], acl.Entries[i+1:]...)
+			if !acl.Blocks(src, dst) {
+				return []LineChange{
+					{Device: c.Hostname, Op: OpRemove, Section: sectionACL(aclName), Line: e.text()},
+				}, nil
+			}
+			// A broader entry still blocks the pair; restore and fall
+			// through to prepend a permit instead.
+			acl.Entries = append(acl.Entries[:i:i], append([]ACLEntryLine{e}, acl.Entries[i:]...)...)
+			break
+		}
+	}
+	entry := ACLEntryLine{Permit: true, Src: src, Dst: dst}
+	acl.Entries = append([]ACLEntryLine{entry}, acl.Entries...)
+	return []LineChange{
+		{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: entry.text()},
+	}, nil
+}
+
+// EnableAdjacency makes the process form an adjacency over intf: it
+// removes a passive-interface line if present, otherwise adds a network
+// statement covering the interface address.
+func (c *Config) EnableAdjacency(proto topology.Protocol, id int, intfName string) ([]LineChange, error) {
+	rs := c.Router(proto, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router %s %d", c.Hostname, proto, id)
+	}
+	for i, p := range rs.Passive {
+		if p == intfName {
+			rs.Passive = append(rs.Passive[:i], rs.Passive[i+1:]...)
+			return []LineChange{
+				{Device: c.Hostname, Op: OpRemove, Section: sectionRouter(proto, id), Line: "passive-interface " + intfName},
+			}, nil
+		}
+	}
+	intf := c.Interface(intfName)
+	if intf == nil || !intf.Address.IsValid() {
+		return nil, fmt.Errorf("config: %s interface %s has no address", c.Hostname, intfName)
+	}
+	nl := NetworkLine{Addr: intf.Address.Addr(), Wildcard: netip.AddrFrom4([4]byte{})}
+	rs.Networks = append(rs.Networks, nl)
+	line := fmt.Sprintf("network %s %s area %d", nl.Addr, nl.Wildcard, nl.Area)
+	return []LineChange{
+		{Device: c.Hostname, Op: OpAdd, Section: sectionRouter(proto, id), Line: line},
+	}, nil
+}
+
+// DisableAdjacency stops the process from forming an adjacency over intf
+// by adding a passive-interface line.
+func (c *Config) DisableAdjacency(proto topology.Protocol, id int, intfName string) ([]LineChange, error) {
+	rs := c.Router(proto, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router %s %d", c.Hostname, proto, id)
+	}
+	for _, p := range rs.Passive {
+		if p == intfName {
+			return nil, nil // already passive
+		}
+	}
+	rs.Passive = append(rs.Passive, intfName)
+	return []LineChange{
+		{Device: c.Hostname, Op: OpAdd, Section: sectionRouter(proto, id), Line: "passive-interface " + intfName},
+	}, nil
+}
+
+// AddBGPNeighbor adds a neighbor statement to the BGP process with the
+// given ASN; idempotent.
+func (c *Config) AddBGPNeighbor(id int, addr netip.Addr, remoteAS int) ([]LineChange, error) {
+	rs := c.Router(topology.BGP, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router bgp %d", c.Hostname, id)
+	}
+	for _, nb := range rs.Neighbors {
+		if nb.Addr == addr {
+			return nil, nil
+		}
+	}
+	rs.Neighbors = append(rs.Neighbors, NeighborLine{Addr: addr, RemoteAS: remoteAS})
+	return []LineChange{
+		{Device: c.Hostname, Op: OpAdd, Section: sectionRouter(topology.BGP, id), Line: fmt.Sprintf("neighbor %s remote-as %d", addr, remoteAS)},
+	}, nil
+}
+
+// RemoveBGPNeighbor deletes the neighbor statement for addr; idempotent.
+func (c *Config) RemoveBGPNeighbor(id int, addr netip.Addr) ([]LineChange, error) {
+	rs := c.Router(topology.BGP, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router bgp %d", c.Hostname, id)
+	}
+	for i, nb := range rs.Neighbors {
+		if nb.Addr == addr {
+			rs.Neighbors = append(rs.Neighbors[:i], rs.Neighbors[i+1:]...)
+			return []LineChange{
+				{Device: c.Hostname, Op: OpRemove, Section: sectionRouter(topology.BGP, id), Line: fmt.Sprintf("neighbor %s remote-as %d", nb.Addr, nb.RemoteAS)},
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// AddStaticRoute appends an "ip route" line.
+func (c *Config) AddStaticRoute(prefix netip.Prefix, nextHop netip.Addr, distance int) []LineChange {
+	sr := &StaticRouteLine{Prefix: prefix, NextHop: nextHop, Distance: distance}
+	c.Statics = append(c.Statics, sr)
+	return []LineChange{{Device: c.Hostname, Op: OpAdd, Line: sr.text()}}
+}
+
+// RemoveStaticRoute deletes the static route for (prefix, nextHop); it
+// returns nil if no such route exists.
+func (c *Config) RemoveStaticRoute(prefix netip.Prefix, nextHop netip.Addr) []LineChange {
+	for i, sr := range c.Statics {
+		if sr.Prefix == prefix && sr.NextHop == nextHop {
+			c.Statics = append(c.Statics[:i], c.Statics[i+1:]...)
+			return []LineChange{{Device: c.Hostname, Op: OpRemove, Line: sr.text()}}
+		}
+	}
+	return nil
+}
+
+// AddRouteFilter blocks routes to dst on the process via a distribute-list
+// line.
+func (c *Config) AddRouteFilter(proto topology.Protocol, id int, dst netip.Prefix) ([]LineChange, error) {
+	rs := c.Router(proto, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router %s %d", c.Hostname, proto, id)
+	}
+	for _, p := range rs.DistributeListIn {
+		if p == dst {
+			return nil, nil // already filtered
+		}
+	}
+	rs.DistributeListIn = append(rs.DistributeListIn, dst)
+	return []LineChange{
+		{Device: c.Hostname, Op: OpAdd, Section: sectionRouter(proto, id), Line: fmt.Sprintf("distribute-list prefix %s in", dst)},
+	}, nil
+}
+
+// RemoveRouteFilter removes the distribute-list line for dst.
+func (c *Config) RemoveRouteFilter(proto topology.Protocol, id int, dst netip.Prefix) ([]LineChange, error) {
+	rs := c.Router(proto, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router %s %d", c.Hostname, proto, id)
+	}
+	for i, p := range rs.DistributeListIn {
+		if p == dst {
+			rs.DistributeListIn = append(rs.DistributeListIn[:i], rs.DistributeListIn[i+1:]...)
+			return []LineChange{
+				{Device: c.Hostname, Op: OpRemove, Section: sectionRouter(proto, id), Line: fmt.Sprintf("distribute-list prefix %s in", dst)},
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// AddRedistribute enables route redistribution from (srcProto, srcID) into
+// the process.
+func (c *Config) AddRedistribute(proto topology.Protocol, id int, srcProto topology.Protocol, srcID int) ([]LineChange, error) {
+	rs := c.Router(proto, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router %s %d", c.Hostname, proto, id)
+	}
+	rl := RedistributeLine{Source: srcProto.String(), ID: srcID}
+	for _, r := range rs.Redistribute {
+		if r == rl {
+			return nil, nil
+		}
+	}
+	rs.Redistribute = append(rs.Redistribute, rl)
+	return []LineChange{
+		{Device: c.Hostname, Op: OpAdd, Section: sectionRouter(proto, id), Line: rl.text()},
+	}, nil
+}
+
+// RemoveRedistribute disables route redistribution from (srcProto, srcID).
+func (c *Config) RemoveRedistribute(proto topology.Protocol, id int, srcProto topology.Protocol, srcID int) ([]LineChange, error) {
+	rs := c.Router(proto, id)
+	if rs == nil {
+		return nil, fmt.Errorf("config: %s has no router %s %d", c.Hostname, proto, id)
+	}
+	rl := RedistributeLine{Source: srcProto.String(), ID: srcID}
+	for i, r := range rs.Redistribute {
+		if r == rl {
+			rs.Redistribute = append(rs.Redistribute[:i], rs.Redistribute[i+1:]...)
+			return []LineChange{
+				{Device: c.Hostname, Op: OpRemove, Section: sectionRouter(proto, id), Line: rl.text()},
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// SetStaticDistance changes the administrative distance of an existing
+// static route; one modified line.
+func (c *Config) SetStaticDistance(prefix netip.Prefix, nextHop netip.Addr, distance int) []LineChange {
+	for _, sr := range c.Statics {
+		if sr.Prefix == prefix && sr.NextHop == nextHop {
+			if sr.Distance == distance {
+				return nil
+			}
+			sr.Distance = distance
+			return []LineChange{{Device: c.Hostname, Op: OpModify, Line: sr.text()}}
+		}
+	}
+	return nil
+}
+
+// SetWaypoint adds or removes the waypoint marker on an interface
+// (modeling middlebox attachment on the adjacent link).
+func (c *Config) SetWaypoint(intfName string, present bool) ([]LineChange, error) {
+	intf := c.Interface(intfName)
+	if intf == nil {
+		return nil, fmt.Errorf("config: %s has no interface %s", c.Hostname, intfName)
+	}
+	if intf.Waypoint == present {
+		return nil, nil
+	}
+	intf.Waypoint = present
+	op := OpAdd
+	if !present {
+		op = OpRemove
+	}
+	return []LineChange{
+		{Device: c.Hostname, Op: op, Section: sectionInterface(intfName), Line: "waypoint"},
+	}, nil
+}
+
+// SetInterfaceCost changes the routing cost of intf; it counts as a single
+// modified line (or an added line when no explicit cost was configured).
+func (c *Config) SetInterfaceCost(intfName string, cost int) ([]LineChange, error) {
+	intf := c.Interface(intfName)
+	if intf == nil {
+		return nil, fmt.Errorf("config: %s has no interface %s", c.Hostname, intfName)
+	}
+	op := OpModify
+	if intf.Cost == 0 {
+		op = OpAdd
+	}
+	if intf.Cost == cost {
+		return nil, nil
+	}
+	intf.Cost = cost
+	return []LineChange{
+		{Device: c.Hostname, Op: op, Section: sectionInterface(intfName), Line: fmt.Sprintf("ip ospf cost %d", cost)},
+	}, nil
+}

@@ -1,0 +1,350 @@
+package config
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// ParseError reports a syntax or semantic error with its source location.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// parser walks a configuration line by line, dispatching top-level
+// statements and block sub-statements.
+type parser struct {
+	file  string
+	lines []string
+	pos   int
+}
+
+// Parse parses one device configuration. file is used in error messages.
+func Parse(file, text string) (*Config, error) {
+	p := &parser{file: file, lines: strings.Split(text, "\n")}
+	cfg := &Config{}
+	for p.pos < len(p.lines) {
+		raw := p.lines[p.pos]
+		line := strings.TrimSpace(raw)
+		p.pos++
+		if line == "" || strings.HasPrefix(line, "!") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "hostname":
+			if len(fields) != 2 {
+				return nil, p.errf("hostname wants 1 argument")
+			}
+			cfg.Hostname = fields[1]
+		case "waypoint":
+			cfg.Waypoint = true
+		case "interface":
+			if len(fields) != 2 {
+				return nil, p.errf("interface wants 1 argument")
+			}
+			stanza, err := p.parseInterface(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			cfg.Interfaces = append(cfg.Interfaces, stanza)
+		case "router":
+			stanza, err := p.parseRouter(fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			cfg.Routers = append(cfg.Routers, stanza)
+		case "ip":
+			if len(fields) >= 2 && fields[1] == "route" {
+				sr, err := p.parseStatic(fields[2:])
+				if err != nil {
+					return nil, err
+				}
+				cfg.Statics = append(cfg.Statics, sr)
+			} else if len(fields) >= 4 && fields[1] == "access-list" && fields[2] == "extended" {
+				acl, err := p.parseACL(fields[3])
+				if err != nil {
+					return nil, err
+				}
+				cfg.ACLs = append(cfg.ACLs, acl)
+			} else {
+				return nil, p.errf("unknown ip statement %q", line)
+			}
+		default:
+			return nil, p.errf("unknown statement %q", fields[0])
+		}
+	}
+	if cfg.Hostname == "" {
+		return nil, &ParseError{File: file, Line: 1, Msg: "missing hostname"}
+	}
+	return cfg, nil
+}
+
+// errf reports an error at the line just consumed.
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{File: p.file, Line: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// blockLines consumes indented sub-statement lines until the next
+// top-level statement, returning them trimmed.
+func (p *parser) blockLines() []string {
+	var out []string
+	for p.pos < len(p.lines) {
+		raw := p.lines[p.pos]
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "!") {
+			p.pos++
+			if trimmed == "!" {
+				return out // "!" terminates a block, IOS style
+			}
+			continue
+		}
+		if !strings.HasPrefix(raw, " ") && !strings.HasPrefix(raw, "\t") {
+			return out
+		}
+		p.pos++
+		out = append(out, trimmed)
+	}
+	return out
+}
+
+func (p *parser) parseInterface(name string) (*InterfaceStanza, error) {
+	st := &InterfaceStanza{Name: name}
+	for _, line := range p.blockLines() {
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "description":
+			st.Description = strings.TrimSpace(strings.TrimPrefix(line, "description"))
+		case fields[0] == "shutdown":
+			st.Shutdown = true
+		case fields[0] == "waypoint":
+			st.Waypoint = true
+		case fields[0] == "ip" && len(fields) >= 2 && fields[1] == "address":
+			if len(fields) != 4 {
+				return nil, p.errf("ip address wants ADDR MASK")
+			}
+			addr, err := netip.ParseAddr(fields[2])
+			if err != nil {
+				return nil, p.errf("bad address %q", fields[2])
+			}
+			mask, err := netip.ParseAddr(fields[3])
+			if err != nil {
+				return nil, p.errf("bad mask %q", fields[3])
+			}
+			st.Address, err = prefixFromMask(addr, mask)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+		case fields[0] == "ip" && len(fields) == 4 && fields[1] == "ospf" && fields[2] == "cost":
+			cost, err := strconv.Atoi(fields[3])
+			if err != nil || cost < 1 {
+				return nil, p.errf("bad ospf cost %q", fields[3])
+			}
+			st.Cost = cost
+		case fields[0] == "ip" && len(fields) == 4 && fields[1] == "access-group":
+			switch fields[3] {
+			case "in":
+				st.InACL = fields[2]
+			case "out":
+				st.OutACL = fields[2]
+			default:
+				return nil, p.errf("access-group direction must be in or out")
+			}
+		default:
+			return nil, p.errf("unknown interface statement %q", line)
+		}
+	}
+	return st, nil
+}
+
+func parseProtocol(s string) (topology.Protocol, bool) {
+	switch s {
+	case "ospf":
+		return topology.OSPF, true
+	case "bgp":
+		return topology.BGP, true
+	case "rip":
+		return topology.RIP, true
+	}
+	return 0, false
+}
+
+func (p *parser) parseRouter(args []string) (*RouterStanza, error) {
+	if len(args) != 2 {
+		return nil, p.errf("router wants PROTO ID")
+	}
+	proto, ok := parseProtocol(args[0])
+	if !ok {
+		return nil, p.errf("unknown protocol %q", args[0])
+	}
+	id, err := strconv.Atoi(args[1])
+	if err != nil {
+		return nil, p.errf("bad process id %q", args[1])
+	}
+	st := &RouterStanza{Proto: proto, ID: id}
+	for _, line := range p.blockLines() {
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "network":
+			if len(fields) != 3 && !(len(fields) == 5 && fields[3] == "area") {
+				return nil, p.errf("network wants ADDR WILDCARD [area N]")
+			}
+			addr, err := netip.ParseAddr(fields[1])
+			if err != nil {
+				return nil, p.errf("bad network address %q", fields[1])
+			}
+			wild, err := netip.ParseAddr(fields[2])
+			if err != nil {
+				return nil, p.errf("bad wildcard %q", fields[2])
+			}
+			nl := NetworkLine{Addr: addr, Wildcard: wild}
+			if len(fields) == 5 {
+				nl.Area, err = strconv.Atoi(fields[4])
+				if err != nil {
+					return nil, p.errf("bad area %q", fields[4])
+				}
+			}
+			st.Networks = append(st.Networks, nl)
+		case "passive-interface":
+			if len(fields) != 2 {
+				return nil, p.errf("passive-interface wants 1 argument")
+			}
+			st.Passive = append(st.Passive, fields[1])
+		case "redistribute":
+			rl := RedistributeLine{Source: fields[1]}
+			switch fields[1] {
+			case "connected", "static":
+				if len(fields) != 2 {
+					return nil, p.errf("redistribute %s wants no arguments", fields[1])
+				}
+			case "ospf", "bgp", "rip":
+				if len(fields) != 3 {
+					return nil, p.errf("redistribute %s wants a process id", fields[1])
+				}
+				rl.ID, err = strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, p.errf("bad process id %q", fields[2])
+				}
+			default:
+				return nil, p.errf("unknown redistribute source %q", fields[1])
+			}
+			st.Redistribute = append(st.Redistribute, rl)
+		case "distribute-list":
+			if len(fields) != 4 || fields[1] != "prefix" || fields[3] != "in" {
+				return nil, p.errf("distribute-list wants: prefix A.B.C.D/L in")
+			}
+			pfx, err := netip.ParsePrefix(fields[2])
+			if err != nil {
+				return nil, p.errf("bad prefix %q", fields[2])
+			}
+			st.DistributeListIn = append(st.DistributeListIn, pfx)
+		case "neighbor":
+			if len(fields) != 4 || fields[2] != "remote-as" {
+				return nil, p.errf("neighbor wants: ADDR remote-as N")
+			}
+			addr, err := netip.ParseAddr(fields[1])
+			if err != nil {
+				return nil, p.errf("bad neighbor address %q", fields[1])
+			}
+			as, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, p.errf("bad AS %q", fields[3])
+			}
+			st.Neighbors = append(st.Neighbors, NeighborLine{Addr: addr, RemoteAS: as})
+		default:
+			return nil, p.errf("unknown router statement %q", line)
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseStatic(args []string) (*StaticRouteLine, error) {
+	if len(args) != 3 && len(args) != 4 {
+		return nil, p.errf("ip route wants ADDR MASK NEXTHOP [DISTANCE]")
+	}
+	addr, err := netip.ParseAddr(args[0])
+	if err != nil {
+		return nil, p.errf("bad route address %q", args[0])
+	}
+	mask, err := netip.ParseAddr(args[1])
+	if err != nil {
+		return nil, p.errf("bad route mask %q", args[1])
+	}
+	pfx, err := prefixFromMask(addr, mask)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	nh, err := netip.ParseAddr(args[2])
+	if err != nil {
+		return nil, p.errf("bad next hop %q", args[2])
+	}
+	sr := &StaticRouteLine{Prefix: pfx, NextHop: nh}
+	if len(args) == 4 {
+		sr.Distance, err = strconv.Atoi(args[3])
+		if err != nil || sr.Distance < 1 {
+			return nil, p.errf("bad distance %q", args[3])
+		}
+	}
+	return sr, nil
+}
+
+func (p *parser) parseACL(name string) (*ACLStanza, error) {
+	st := &ACLStanza{Name: name}
+	for _, line := range p.blockLines() {
+		fields := strings.Fields(line)
+		if (fields[0] != "permit" && fields[0] != "deny") || len(fields) < 2 || fields[1] != "ip" {
+			return nil, p.errf("ACL entry wants: permit|deny ip SRC DST")
+		}
+		entry := ACLEntryLine{Permit: fields[0] == "permit"}
+		rest := fields[2:]
+		src, rest, err := p.parseACLTarget(rest)
+		if err != nil {
+			return nil, err
+		}
+		dst, rest, err := p.parseACLTarget(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, p.errf("trailing tokens in ACL entry %q", line)
+		}
+		entry.Src, entry.Dst = src, dst
+		st.Entries = append(st.Entries, entry)
+	}
+	return st, nil
+}
+
+// parseACLTarget consumes "any" or "ADDR WILDCARD" from fields.
+func (p *parser) parseACLTarget(fields []string) (netip.Prefix, []string, error) {
+	if len(fields) == 0 {
+		return netip.Prefix{}, nil, p.errf("ACL entry missing target")
+	}
+	if fields[0] == "any" {
+		return netip.Prefix{}, fields[1:], nil
+	}
+	if len(fields) < 2 {
+		return netip.Prefix{}, nil, p.errf("ACL target wants ADDR WILDCARD")
+	}
+	addr, err := netip.ParseAddr(fields[0])
+	if err != nil {
+		return netip.Prefix{}, nil, p.errf("bad ACL address %q", fields[0])
+	}
+	wild, err := netip.ParseAddr(fields[1])
+	if err != nil {
+		return netip.Prefix{}, nil, p.errf("bad ACL wildcard %q", fields[1])
+	}
+	pfx, err := prefixFromWildcard(addr, wild)
+	if err != nil {
+		return netip.Prefix{}, nil, p.errf("%v", err)
+	}
+	return pfx, fields[2:], nil
+}

@@ -1,0 +1,107 @@
+package config
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Print renders the configuration in canonical form. Parse(Print(c)) is
+// the identity on the AST, and the printed form is the unit in which
+// repair sizes ("lines of configuration changed") are measured.
+func (c *Config) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n", c.Hostname)
+	if c.Waypoint {
+		b.WriteString("waypoint\n")
+	}
+	for _, i := range c.Interfaces {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "interface %s\n", i.Name)
+		if i.Description != "" {
+			fmt.Fprintf(&b, " description %s\n", i.Description)
+		}
+		if i.Address.IsValid() {
+			fmt.Fprintf(&b, " ip address %s %s\n", i.Address.Addr(), maskFromBits(i.Address.Bits()))
+		}
+		if i.Cost > 0 {
+			fmt.Fprintf(&b, " ip ospf cost %d\n", i.Cost)
+		}
+		if i.InACL != "" {
+			fmt.Fprintf(&b, " ip access-group %s in\n", i.InACL)
+		}
+		if i.OutACL != "" {
+			fmt.Fprintf(&b, " ip access-group %s out\n", i.OutACL)
+		}
+		if i.Waypoint {
+			b.WriteString(" waypoint\n")
+		}
+		if i.Shutdown {
+			b.WriteString(" shutdown\n")
+		}
+	}
+	for _, a := range c.ACLs {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "ip access-list extended %s\n", a.Name)
+		for _, e := range a.Entries {
+			b.WriteString(" " + e.text() + "\n")
+		}
+	}
+	for _, s := range c.Statics {
+		b.WriteString("!\n")
+		b.WriteString(s.text() + "\n")
+	}
+	for _, r := range c.Routers {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "router %s %d\n", r.Proto, r.ID)
+		for _, rd := range r.Redistribute {
+			b.WriteString(" " + rd.text() + "\n")
+		}
+		for _, pi := range r.Passive {
+			fmt.Fprintf(&b, " passive-interface %s\n", pi)
+		}
+		for _, nl := range r.Networks {
+			fmt.Fprintf(&b, " network %s %s area %d\n", nl.Addr, nl.Wildcard, nl.Area)
+		}
+		for _, dl := range r.DistributeListIn {
+			fmt.Fprintf(&b, " distribute-list prefix %s in\n", dl)
+		}
+		for _, nb := range r.Neighbors {
+			fmt.Fprintf(&b, " neighbor %s remote-as %d\n", nb.Addr, nb.RemoteAS)
+		}
+	}
+	return b.String()
+}
+
+// text renders the ACL entry as a single configuration line.
+func (e ACLEntryLine) text() string {
+	verb := "deny"
+	if e.Permit {
+		verb = "permit"
+	}
+	return fmt.Sprintf("%s ip %s %s", verb, aclTarget(e.Src), aclTarget(e.Dst))
+}
+
+// text renders a static route as a single configuration line.
+func (s *StaticRouteLine) text() string {
+	line := fmt.Sprintf("ip route %s %s %s", s.Prefix.Addr(), maskFromBits(s.Prefix.Bits()), s.NextHop)
+	if s.Distance > 0 {
+		line += fmt.Sprintf(" %d", s.Distance)
+	}
+	return line
+}
+
+// text renders a redistribute statement.
+func (r RedistributeLine) text() string {
+	if r.Source == "connected" || r.Source == "static" {
+		return "redistribute " + r.Source
+	}
+	return fmt.Sprintf("redistribute %s %d", r.Source, r.ID)
+}
+
+func aclTarget(p netip.Prefix) string {
+	if !p.IsValid() {
+		return "any"
+	}
+	return fmt.Sprintf("%s %s", p.Addr(), wildcardFromBits(p.Bits()))
+}

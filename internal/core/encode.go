@@ -1,0 +1,933 @@
+// Package core implements CPR's central contribution: casting control
+// plane repair as a MaxSMT problem over HARC edge variables (paper §5).
+//
+// Hard constraints encode the policy classes of Figure 5 (constraints
+// 1-17) and HARC well-formedness (constraints 18-19); soft constraints
+// implement Table 2, making the optimal model the minimal-change repair.
+// Problems are solved either over all traffic classes at once
+// (maxsmt-all-tcs) or decomposed per destination and solved in parallel
+// (maxsmt-per-dst, §5.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arc"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/smt/bv"
+	"repro/internal/smt/formula"
+	"repro/internal/smt/maxsat"
+	"repro/internal/smt/sat"
+	"repro/internal/topology"
+)
+
+// encoder builds the MaxSMT problem for one group of traffic classes.
+type encoder struct {
+	h    *harc.HARC
+	st   *harc.State // original state
+	opts Options
+
+	tcs      []topology.TrafficClass
+	dsts     []*topology.Subnet
+	policies []policy.Policy
+
+	// freezeAll pins aETG variables to their original values (per-dst
+	// decomposition: repairs are restricted to per-destination constructs
+	// so per-problem solutions merge without conflicts, §5.3).
+	freezeAll bool
+
+	s       *sat.Solver
+	b       *formula.Builder
+	softs   []sat.Lit
+	weights []int
+	// byDevice collects keep-formulas per device for the MinDevices
+	// objective (§5.2's "minimal number of devices changed").
+	byDevice map[string][]*formula.F
+
+	costVecs  map[string]bv.Vec     // CostKey → cost variable (PC4 problems)
+	wedgeVars map[string]*formula.F // link name → waypoint variable
+	canonical map[string]string     // inter slot key → canonical direction key
+}
+
+// Variable naming.
+
+func vA(key string) *formula.F { return formula.Var("eA|" + key) }
+
+// vRF is the route-filter construct variable: proc blocks routes to dst.
+func vRF(dst *topology.Subnet, proc *topology.Process) *formula.F {
+	return formula.Var("rf|" + dst.Name + "|" + proc.Name())
+}
+
+// vStatic is the static-route construct variable: the tail device has a
+// static route for dst across the slot's link.
+func vStatic(dst *topology.Subnet, s *arc.Slot) *formula.F {
+	return formula.Var("st|" + dst.Name + "|" + s.Key())
+}
+
+func vD(dst *topology.Subnet, s *arc.Slot) *formula.F {
+	return formula.Var("eD|" + dst.Name + "|" + s.Key())
+}
+
+func vT(tc topology.TrafficClass, s *arc.Slot) *formula.F {
+	return formula.Var("eT|" + tc.String() + "|" + s.Key())
+}
+
+func constBool(v bool) *formula.F {
+	if v {
+		return formula.True
+	}
+	return formula.False
+}
+
+// aclDevice returns the device whose ACL realizes a tc-level deviation
+// on the slot (mirrors the translator's placement).
+func aclDevice(s *arc.Slot) string {
+	switch s.Kind {
+	case arc.SlotInterDevice:
+		return s.ToIntf.Device.Name
+	case arc.SlotSource, arc.SlotDest:
+		return s.Intf.Device.Name
+	default:
+		return s.FromProc.Device.Name
+	}
+}
+
+// applicableTC reports whether slot s can appear in tc's ETG.
+func applicableTC(s *arc.Slot, tc topology.TrafficClass) bool {
+	switch s.Kind {
+	case arc.SlotSource:
+		return s.Subnet == tc.Src
+	case arc.SlotDest:
+		return s.Subnet == tc.Dst
+	}
+	return true
+}
+
+// applicableDst reports whether slot s can appear in dst's dETG.
+func applicableDst(s *arc.Slot, dst *topology.Subnet) bool {
+	switch s.Kind {
+	case arc.SlotSource:
+		return false
+	case arc.SlotDest:
+		return s.Subnet == dst
+	}
+	return true
+}
+
+func newEncoder(h *harc.HARC, st *harc.State, tcs []topology.TrafficClass, policies []policy.Policy, freezeAll bool, opts Options) *encoder {
+	solver := sat.New()
+	solver.Budget = opts.ConflictBudget
+	e := &encoder{
+		h: h, st: st, opts: opts,
+		tcs: tcs, policies: policies, freezeAll: freezeAll,
+		s: solver, b: formula.NewBuilder(solver),
+		costVecs:  make(map[string]bv.Vec),
+		wedgeVars: make(map[string]*formula.F),
+		canonical: make(map[string]string),
+		byDevice:  make(map[string][]*formula.F),
+	}
+	// Routing adjacencies are symmetric: both directed slots over a link
+	// share one aETG variable, keyed by the lexicographically smaller
+	// slot key.
+	byEndpoints := make(map[string]string)
+	for _, s := range h.Slots {
+		if s.Kind != arc.SlotInterDevice {
+			continue
+		}
+		ep := s.FromProc.Name() + "|" + s.ToProc.Name() + "|" + s.FromIntf.Name + "|" + s.ToIntf.Name
+		rev := s.ToProc.Name() + "|" + s.FromProc.Name() + "|" + s.ToIntf.Name + "|" + s.FromIntf.Name
+		if other, ok := byEndpoints[rev]; ok {
+			canon := other
+			if s.Key() < canon {
+				canon = s.Key()
+			}
+			e.canonical[s.Key()] = canon
+			e.canonical[other] = canon
+		} else {
+			byEndpoints[ep] = s.Key()
+			e.canonical[s.Key()] = s.Key()
+		}
+	}
+	seen := map[string]bool{}
+	for _, tc := range tcs {
+		if !seen[tc.Dst.Name] {
+			seen[tc.Dst.Name] = true
+			e.dsts = append(e.dsts, tc.Dst)
+		}
+	}
+	return e
+}
+
+// eA returns the aETG presence formula for slot s. Self edges always
+// exist in the aETG; inter-device slots share one variable per adjacency
+// (both directions); in per-dst mode the aETG is frozen to its original
+// value.
+func (e *encoder) eA(s *arc.Slot) *formula.F {
+	if s.Kind == arc.SlotIntraSelf {
+		return formula.True
+	}
+	if e.freezeAll {
+		return constBool(e.st.All[s.Key()])
+	}
+	if s.Kind == arc.SlotInterDevice {
+		return vA(e.canonical[s.Key()])
+	}
+	return vA(s.Key())
+}
+
+// wedge returns the waypoint formula for an inter-device slot's link.
+// Existing middleboxes stay in place; repairs may only add waypoints
+// (footnote 2 of the paper), which keeps per-destination sub-problems
+// mergeable.
+func (e *encoder) wedge(s *arc.Slot) *formula.F {
+	if s.Kind != arc.SlotInterDevice {
+		// Intra-device waypoint (device middlebox) is not repairable.
+		return constBool(s.Waypoint())
+	}
+	name := s.Link.Name()
+	if e.st.Waypoint[name] {
+		return formula.True
+	}
+	if !e.opts.AllowWaypointChanges {
+		return formula.False
+	}
+	if f, ok := e.wedgeVars[name]; ok {
+		return f
+	}
+	f := formula.Var("wp|" + name)
+	e.wedgeVars[name] = f
+	return f
+}
+
+// cost returns the bitvector cost of slot s for PC4 arithmetic: a shared
+// variable per egress interface for inter-device slots (constraint 13's
+// sharing rule), zero otherwise.
+func (e *encoder) cost(s *arc.Slot) bv.Vec {
+	ck := harc.CostKey(s)
+	if ck == "" {
+		return bv.Const(0, 1)
+	}
+	if v, ok := e.costVecs[ck]; ok {
+		return v
+	}
+	v := bv.New("cost|"+ck, e.opts.CostBits)
+	e.costVecs[ck] = v
+	// Constraint 13: cost > 0.
+	e.b.Assert(bv.NonZero(v))
+	return v
+}
+
+// soft registers a keep-formula attributed to a device. Under the
+// MinLines objective each formula is one unit-weight soft (Table 2);
+// under MinDevices the per-device conjunctions become the softs.
+func (e *encoder) soft(device string, f *formula.F) { e.softWeighted(device, f, 1) }
+
+// softWeighted registers a keep-formula with an explicit weight.
+func (e *encoder) softWeighted(device string, f *formula.F, weight int) {
+	if e.opts.Objective == MinDevices {
+		e.byDevice[device] = append(e.byDevice[device], f)
+		return
+	}
+	e.softs = append(e.softs, e.b.Lit(f))
+	e.weights = append(e.weights, weight)
+}
+
+// finalizeSofts emits the per-device softs for MinDevices.
+func (e *encoder) finalizeSofts() {
+	if e.opts.Objective != MinDevices {
+		return
+	}
+	names := make([]string, 0, len(e.byDevice))
+	for name := range e.byDevice {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.softs = append(e.softs, e.b.Lit(formula.And(e.byDevice[name]...)))
+		e.weights = append(e.weights, 1)
+	}
+}
+
+// encode builds the full constraint system.
+func (e *encoder) encode() error {
+	e.hierarchyConstraints()
+	for _, p := range e.policies {
+		if err := e.policyConstraints(p); err != nil {
+			return err
+		}
+	}
+	e.softConstraints()
+	e.seedPhases()
+	return nil
+}
+
+// seedPhases biases the solver's initial polarities toward the original
+// HARC state, so the first model found violates few soft constraints.
+// This keeps the MaxSAT descent's cardinality encoding small (it is
+// truncated at the initial violation count) and dramatically shortens
+// the optimization.
+func (e *encoder) seedPhases() {
+	for _, tc := range e.tcs {
+		tcState := e.st.TC[tc.Key()]
+		for _, s := range e.tcSlots(tc) {
+			name := "eT|" + tc.String() + "|" + s.Key()
+			if e.b.HasVar(name) {
+				e.b.Prefer(name, tcState[s.Key()])
+			}
+		}
+	}
+	for _, dst := range e.dsts {
+		dstState := e.st.Dst[dst.Name]
+		for _, s := range e.h.Slots {
+			if !applicableDst(s, dst) {
+				continue
+			}
+			name := "eD|" + dst.Name + "|" + s.Key()
+			if e.b.HasVar(name) {
+				e.b.Prefer(name, dstState[s.Key()])
+			}
+			switch s.Kind {
+			case arc.SlotIntraSelf:
+				rfName := "rf|" + dst.Name + "|" + s.FromProc.Name()
+				if e.b.HasVar(rfName) {
+					e.b.Prefer(rfName, s.FromProc.BlocksDestination(dst.Prefix))
+				}
+			case arc.SlotInterDevice:
+				stName := "st|" + dst.Name + "|" + s.Key()
+				if e.b.HasVar(stName) {
+					e.b.Prefer(stName, s.StaticBacked(dst) != nil)
+				}
+			}
+		}
+	}
+	if !e.freezeAll {
+		for _, s := range e.h.Slots {
+			var name string
+			switch s.Kind {
+			case arc.SlotInterDevice:
+				name = "eA|" + e.canonical[s.Key()]
+			case arc.SlotIntraRedist:
+				name = "eA|" + s.Key()
+			default:
+				continue
+			}
+			if e.b.HasVar(name) {
+				e.b.Prefer(name, e.st.All[s.Key()])
+			}
+		}
+	}
+	for ck := range e.costVecs {
+		orig := uint64(e.st.Cost[ck])
+		max := uint64(1)<<uint(e.opts.CostBits) - 1
+		if orig > max {
+			orig = max
+		}
+		for i := 0; i < e.opts.CostBits; i++ {
+			e.b.Prefer(fmt.Sprintf("cost|%s.%d", ck, i), orig&(1<<uint(i)) != 0)
+		}
+	}
+}
+
+// hierarchyConstraints emits Figure 5 constraints 18 and 19. Constraint
+// 18 (tcETG ⇒ dETG) is kept as an implication (the gap is an ACL, a
+// per-traffic-class construct); constraint 19 is strengthened into
+// structural definitions of dETG edges in terms of the per-destination
+// constructs that realize them — route filters and static routes — so
+// every satisfying model is directly implementable in configuration.
+func (e *encoder) hierarchyConstraints() {
+	for _, tc := range e.tcs {
+		for _, s := range e.h.Slots {
+			if !applicableTC(s, tc) {
+				continue
+			}
+			if s.Kind == arc.SlotSource {
+				// A source edge needs the gateway process to have a route
+				// to the destination (no route filter).
+				e.b.Assert(formula.Implies(vT(tc, s),
+					formula.Not(vRF(tc.Dst, s.ToProc))))
+				continue
+			}
+			switch s.Kind {
+			case arc.SlotIntraSelf, arc.SlotIntraRedist:
+				// ACLs cannot act inside a device: intra tcETG edges equal
+				// their dETG edges (Table 3's "invalid modification").
+				e.b.Assert(formula.Iff(vT(tc, s), vD(tc.Dst, s)))
+			default:
+				// Constraint 18: tcETG edge ⇒ dETG edge (the gap is an
+				// interface ACL).
+				e.b.Assert(formula.Implies(vT(tc, s), vD(tc.Dst, s)))
+			}
+		}
+	}
+	for _, dst := range e.dsts {
+		// procStatic(p) is true when a static route for dst leaves
+		// through process p's links: a FIB-level static also backs the
+		// intra edges into p's outgoing vertex.
+		procStaticMap := map[string]*formula.F{}
+		for _, s := range e.h.Slots {
+			if s.Kind != arc.SlotInterDevice {
+				continue
+			}
+			owner := s.FromProc.Name()
+			f := vStatic(dst, s)
+			if prev, ok := procStaticMap[owner]; ok {
+				procStaticMap[owner] = formula.Or(prev, f)
+			} else {
+				procStaticMap[owner] = f
+			}
+		}
+		procStatic := func(p *topology.Process) *formula.F {
+			if f, ok := procStaticMap[p.Name()]; ok {
+				return f
+			}
+			return formula.False
+		}
+		for _, s := range e.h.Slots {
+			if !applicableDst(s, dst) {
+				continue
+			}
+			switch s.Kind {
+			case arc.SlotIntraSelf:
+				// A process forwards toward dst unless it filters the
+				// route — or a static route makes the FIB authoritative.
+				e.b.Assert(formula.Iff(vD(dst, s), formula.Or(
+					formula.Not(vRF(dst, s.FromProc)),
+					procStatic(s.FromProc),
+				)))
+			case arc.SlotIntraRedist:
+				// Redistribution edge: configured and unfiltered, or
+				// static-backed at the device level.
+				e.b.Assert(formula.Iff(vD(dst, s), formula.Or(
+					formula.And(
+						e.eA(s),
+						formula.Not(vRF(dst, s.ToProc)),
+						formula.Not(vRF(dst, s.FromProc)),
+					),
+					procStatic(s.FromProc),
+				)))
+			case arc.SlotInterDevice:
+				// Constraint 19: adjacency-backed (and the receiver
+				// advertises dst) or static-backed.
+				e.b.Assert(formula.Iff(vD(dst, s), formula.Or(
+					formula.And(e.eA(s), formula.Not(vRF(dst, s.ToProc))),
+					vStatic(dst, s),
+				)))
+			case arc.SlotDest:
+				e.b.Assert(formula.Iff(vD(dst, s),
+					formula.Not(vRF(dst, s.FromProc))))
+			}
+		}
+	}
+}
+
+// tcSlots returns the slots applicable to tc.
+func (e *encoder) tcSlots(tc topology.TrafficClass) []*arc.Slot {
+	var out []*arc.Slot
+	for _, s := range e.h.Slots {
+		if applicableTC(s, tc) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// vertexSet collects ETG vertex names for tc with SRC/DST included.
+func (e *encoder) vertexSet(tc topology.TrafficClass) []string {
+	seen := map[string]bool{"SRC": true, "DST": true}
+	out := []string{"SRC", "DST"}
+	for _, s := range e.tcSlots(tc) {
+		for _, v := range []string{s.FromVertex(), s.ToVertex()} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func (e *encoder) policyConstraints(p policy.Policy) error {
+	switch p.Kind {
+	case policy.AlwaysBlocked:
+		e.encodePC1(p)
+	case policy.AlwaysWaypoint:
+		e.encodePC2(p)
+	case policy.KReachable:
+		e.encodePC3(p)
+	case policy.PrimaryPath:
+		return e.encodePC4(p)
+	case policy.Isolated:
+		e.encodeIsolation(p)
+	default:
+		return fmt.Errorf("core: unsupported policy kind %v", p.Kind)
+	}
+	return nil
+}
+
+// encodeIsolation forbids the two traffic classes from sharing any ETG
+// edge (§5.1: edge_tc1 ⇒ ¬edge_tc2 and vice versa).
+func (e *encoder) encodeIsolation(p policy.Policy) {
+	for _, s := range e.h.Slots {
+		if applicableTC(s, p.TC) && applicableTC(s, p.TC2) {
+			e.b.Assert(formula.Not(formula.And(vT(p.TC, s), vT(p.TC2, s))))
+		}
+	}
+}
+
+// encodePC1 emits Figure 5 constraints 1-3 in their SRC-rooted
+// reachability-closure form: reach(SRC) holds, presence propagates
+// reachability along edges, and reach(DST) is forbidden.
+func (e *encoder) encodePC1(p policy.Policy) {
+	tc := p.TC
+	reach := func(v string) *formula.F {
+		return formula.Var("reach|" + tc.String() + "|" + v)
+	}
+	e.b.Assert(reach("SRC"))
+	for _, s := range e.tcSlots(tc) {
+		e.b.Assert(formula.Implies(
+			formula.And(vT(tc, s), reach(s.FromVertex())),
+			reach(s.ToVertex()),
+		))
+	}
+	e.b.Assert(formula.Not(reach("DST")))
+}
+
+// encodePC2 emits Figure 5 constraints 4-6: no waypoint-free path from
+// SRC to DST may exist, where wedge variables mark waypoint-carrying
+// edges (repairs may add waypoints, footnote 2).
+func (e *encoder) encodePC2(p policy.Policy) {
+	tc := p.TC
+	nw := func(v string) *formula.F {
+		return formula.Var("nw|" + tc.String() + "|" + v)
+	}
+	e.b.Assert(nw("SRC"))
+	for _, s := range e.tcSlots(tc) {
+		e.b.Assert(formula.Implies(
+			formula.And(vT(tc, s), formula.Not(e.wedge(s)), nw(s.FromVertex())),
+			nw(s.ToVertex()),
+		))
+	}
+	e.b.Assert(formula.Not(nw("DST")))
+}
+
+// encodePC3 emits Figure 5 constraints 7-12: K link-disjoint paths must
+// exist in the tcETG.
+func (e *encoder) encodePC3(p policy.Policy) {
+	tc := p.TC
+	slots := e.tcSlots(tc)
+	pe := func(j int, s *arc.Slot) *formula.F {
+		return formula.Var(fmt.Sprintf("pe|%s|%d|%s", tc.String(), j, s.Key()))
+	}
+
+	// Index slots by tail and head vertex.
+	bySrc := map[string][]*arc.Slot{}
+	byDst := map[string][]*arc.Slot{}
+	for _, s := range slots {
+		bySrc[s.FromVertex()] = append(bySrc[s.FromVertex()], s)
+		byDst[s.ToVertex()] = append(byDst[s.ToVertex()], s)
+	}
+
+	for j := 0; j < p.K; j++ {
+		// Constraint 7: path edges exist in the tcETG.
+		for _, s := range slots {
+			e.b.Assert(formula.Implies(pe(j, s), vT(tc, s)))
+		}
+		// Constraint 8: the path leaves SRC.
+		var fromSrc []*formula.F
+		for _, s := range bySrc["SRC"] {
+			fromSrc = append(fromSrc, pe(j, s))
+		}
+		e.b.Assert(formula.Or(fromSrc...))
+		// Constraint 9: the path enters DST.
+		var toDst []*formula.F
+		for _, s := range byDst["DST"] {
+			toDst = append(toDst, pe(j, s))
+		}
+		e.b.Assert(formula.Or(toDst...))
+		// Constraints 10 and 11: interior continuity.
+		for v, outs := range bySrc {
+			if v == "SRC" {
+				continue
+			}
+			// Constraint 10: a selected edge out of v needs a selected
+			// edge into v.
+			var ins []*formula.F
+			for _, s := range byDst[v] {
+				ins = append(ins, pe(j, s))
+			}
+			inAny := formula.Or(ins...)
+			for _, s := range outs {
+				e.b.Assert(formula.Implies(pe(j, s), inAny))
+			}
+		}
+		for v, ins := range byDst {
+			if v == "DST" {
+				continue
+			}
+			// Constraint 11: a selected edge into v needs exactly one
+			// selected edge out of v.
+			outs := bySrc[v]
+			var outFs []*formula.F
+			for _, s := range outs {
+				outFs = append(outFs, pe(j, s))
+			}
+			outAny := formula.Or(outFs...)
+			for _, s := range ins {
+				e.b.Assert(formula.Implies(pe(j, s), outAny))
+			}
+			if len(outFs) > 1 {
+				e.b.AtMostOne(outFs...)
+			}
+		}
+	}
+	// Constraint 12: link-disjointness across the K paths, enforced per
+	// physical link (both directions of a link belong to at most one
+	// path).
+	byLink := map[string][]*arc.Slot{}
+	for _, s := range slots {
+		if s.Kind == arc.SlotInterDevice {
+			byLink[s.Link.Name()] = append(byLink[s.Link.Name()], s)
+		}
+	}
+	for _, linkSlots := range byLink {
+		used := make([]*formula.F, p.K)
+		for j := 0; j < p.K; j++ {
+			var parts []*formula.F
+			for _, s := range linkSlots {
+				parts = append(parts, pe(j, s))
+			}
+			used[j] = formula.Or(parts...)
+		}
+		for a := 0; a < p.K; a++ {
+			for b := a + 1; b < p.K; b++ {
+				e.b.Assert(formula.Not(formula.And(used[a], used[b])))
+			}
+		}
+	}
+}
+
+// encodePC4 emits Figure 5 constraints 13-17: shared positive edge
+// costs, exact shortest-path distance labels, and strict preference of
+// the required path P at every hop.
+func (e *encoder) encodePC4(p policy.Policy) error {
+	tc := p.TC
+	slots := e.tcSlots(tc)
+	vertices := e.vertexSet(tc)
+	distBits := e.opts.DistBits
+
+	dist := map[string]bv.Vec{}
+	unreach := map[string]*formula.F{}
+	for _, v := range vertices {
+		dist[v] = bv.New("d|"+tc.String()+"|"+v, distBits)
+		unreach[v] = formula.Var("un|" + tc.String() + "|" + v)
+	}
+	// Constraints 14-15: SRC is the root at distance 0.
+	bv.AssertEqualConst(e.b, dist["SRC"], 0)
+	e.b.Assert(formula.Not(unreach["SRC"]))
+
+	byDst := map[string][]*arc.Slot{}
+	for _, s := range slots {
+		byDst[s.ToVertex()] = append(byDst[s.ToVertex()], s)
+	}
+
+	// Relaxation: a present edge from a reachable tail bounds the head's
+	// label, and makes the head reachable.
+	for _, s := range slots {
+		u, v := s.FromVertex(), s.ToVertex()
+		premise := formula.And(vT(tc, s), formula.Not(unreach[u]))
+		sum := bv.Add(dist[u], e.cost(s))
+		e.b.Assert(formula.Implies(premise, formula.And(
+			formula.Not(unreach[v]),
+			bv.LessEq(dist[v], sum),
+		)))
+	}
+	// Tightness (constraint 16's support condition): every reachable
+	// non-SRC vertex has an incoming tight edge. With strictly positive
+	// inter-device costs and the bipartite I/O structure, support graphs
+	// are acyclic, so labels are exactly the shortest distances.
+	for _, v := range vertices {
+		if v == "SRC" {
+			continue
+		}
+		var supports []*formula.F
+		for _, s := range byDst[v] {
+			u := s.FromVertex()
+			supports = append(supports, formula.And(
+				vT(tc, s),
+				formula.Not(unreach[u]),
+				bv.Equal(dist[v], bv.Add(dist[u], e.cost(s))),
+			))
+		}
+		e.b.Assert(formula.Or(unreach[v], formula.Or(supports...)))
+	}
+
+	// Constraint 17: the edges of P exist, are tight, and are strictly
+	// preferred over every other incoming edge at each hop.
+	chain, err := e.chainSlots(p)
+	if err != nil {
+		return err
+	}
+	for _, cs := range chain {
+		u, v := cs.FromVertex(), cs.ToVertex()
+		e.b.Assert(vT(tc, cs))
+		e.b.Assert(formula.Not(unreach[u]))
+		chainSum := bv.Add(dist[u], e.cost(cs))
+		e.b.Assert(bv.Equal(dist[v], chainSum))
+		for _, other := range byDst[v] {
+			if other == cs {
+				continue
+			}
+			w := other.FromVertex()
+			e.b.Assert(formula.Implies(
+				formula.And(vT(tc, other), formula.Not(unreach[w])),
+				bv.Less(chainSum, bv.Add(dist[w], e.cost(other))),
+			))
+		}
+	}
+	return nil
+}
+
+// chainSlots maps a PC4 device path onto the unique slot sequence
+// SRC → dev1:O → dev2:I → dev2:O → ... → DST. It requires a single
+// routing process per device pair (the common case; ambiguous paths are
+// rejected).
+func (e *encoder) chainSlots(p policy.Policy) ([]*arc.Slot, error) {
+	tc := p.TC
+	slots := e.tcSlots(tc)
+	var chain []*arc.Slot
+
+	find := func(pred func(*arc.Slot) bool, what string) (*arc.Slot, error) {
+		var found *arc.Slot
+		for _, s := range slots {
+			if pred(s) {
+				if found != nil {
+					return nil, fmt.Errorf("core: PC4 path for %s is ambiguous at %s (multiple processes)", tc, what)
+				}
+				found = s
+			}
+		}
+		if found == nil {
+			return nil, fmt.Errorf("core: PC4 path for %s has no candidate slot at %s", tc, what)
+		}
+		return found, nil
+	}
+
+	if len(p.Path) == 0 {
+		return nil, fmt.Errorf("core: PC4 policy for %s has empty path", tc)
+	}
+	first := p.Path[0]
+	s, err := find(func(s *arc.Slot) bool {
+		return s.Kind == arc.SlotSource && s.ToProc.Device.Name == first
+	}, "SRC->"+first)
+	if err != nil {
+		return nil, err
+	}
+	chain = append(chain, s)
+
+	for i := 0; i+1 < len(p.Path); i++ {
+		from, to := p.Path[i], p.Path[i+1]
+		inter, err := find(func(s *arc.Slot) bool {
+			return s.Kind == arc.SlotInterDevice &&
+				s.FromProc.Device.Name == from && s.ToProc.Device.Name == to
+		}, from+"->"+to)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, inter)
+		// Intra-device hop on the next device (unless it is the last and
+		// traffic exits to DST from its I vertex... the DST edge leaves
+		// the I vertex, so no intra hop is needed on the final device).
+		if i+2 < len(p.Path) {
+			self, err := find(func(s *arc.Slot) bool {
+				return s.Kind == arc.SlotIntraSelf && s.FromProc.Device.Name == to
+			}, "intra "+to)
+			if err != nil {
+				return nil, err
+			}
+			chain = append(chain, self)
+		}
+	}
+	last := p.Path[len(p.Path)-1]
+	dstSlot, err := find(func(s *arc.Slot) bool {
+		return s.Kind == arc.SlotDest && s.FromProc.Device.Name == last
+	}, last+"->DST")
+	if err != nil {
+		return nil, err
+	}
+	chain = append(chain, dstSlot)
+	return chain, nil
+}
+
+// softConstraints emits Table 2 plus the cost and waypoint softs.
+func (e *encoder) softConstraints() {
+	// tcETG-level softs.
+	for _, tc := range e.tcs {
+		tcState := e.st.TC[tc.Key()]
+		dstState := e.st.Dst[tc.Dst.Name]
+		for _, s := range e.tcSlots(tc) {
+			key := s.Key()
+			origTC := tcState[key]
+			if s.Kind == arc.SlotSource {
+				// Source edges have no dETG parent; keeping them as-is
+				// avoids an ACL change on the host-facing interface.
+				e.soft(s.Intf.Device.Name, formula.Iff(vT(tc, s), constBool(origTC)))
+				continue
+			}
+			dev := aclDevice(s)
+			origD := dstState[key]
+			if origD && !origTC {
+				// Deviation (ACL) continues to pay for itself only if the
+				// edge stays absent (Table 2 rows 2 and 6).
+				e.soft(dev, formula.Not(vT(tc, s)))
+			} else {
+				e.soft(dev, formula.Iff(vT(tc, s), vD(tc.Dst, s)))
+			}
+		}
+	}
+	// dETG-level softs: one per construct, so violated softs count
+	// configuration lines exactly (the construct realization of Table 2's
+	// per-edge accounting).
+	seenRF := map[string]bool{}
+	for _, dst := range e.dsts {
+		for _, s := range e.h.Slots {
+			if !applicableDst(s, dst) {
+				continue
+			}
+			switch s.Kind {
+			case arc.SlotIntraSelf:
+				// One route-filter soft per (process, destination).
+				rf := vRF(dst, s.FromProc)
+				key := dst.Name + "|" + s.FromProc.Name()
+				if !seenRF[key] {
+					seenRF[key] = true
+					orig := s.FromProc.BlocksDestination(dst.Prefix)
+					e.soft(s.FromProc.Device.Name, formula.Iff(rf, constBool(orig)))
+				}
+			case arc.SlotInterDevice:
+				orig := s.StaticBacked(dst) != nil
+				e.soft(s.FromProc.Device.Name, formula.Iff(vStatic(dst, s), constBool(orig)))
+			}
+		}
+	}
+	// aETG-level softs (all-tcs mode only; per-dst freezes the aETG):
+	// one per adjacency (canonical direction) and one per redistribution
+	// edge.
+	if !e.freezeAll {
+		for _, s := range e.h.Slots {
+			key := s.Key()
+			switch s.Kind {
+			case arc.SlotInterDevice:
+				if e.canonical[key] != key {
+					continue // the reverse direction carries the soft
+				}
+			case arc.SlotIntraRedist:
+			default:
+				continue
+			}
+			dev := s.FromProc.Device.Name
+			if s.Kind == arc.SlotIntraRedist {
+				dev = s.ToProc.Device.Name
+			}
+			if e.st.All[key] {
+				e.soft(dev, e.eA(s))
+			} else {
+				e.soft(dev, formula.Not(e.eA(s)))
+			}
+		}
+	}
+	// Cost softs: keep each interface cost unchanged (one line per
+	// change). CostKey is "<device>/<interface>".
+	for ck, vec := range e.costVecs {
+		orig := e.st.Cost[ck]
+		max := int64(1)<<uint(e.opts.CostBits) - 1
+		if orig > max {
+			orig = max
+		}
+		dev := ck
+		if i := strings.IndexByte(ck, '/'); i >= 0 {
+			dev = ck[:i]
+		}
+		e.soft(dev, bv.Equal(vec, bv.Const(uint64(orig), e.opts.CostBits)))
+	}
+	// Waypoint softs: adding a middlebox is a change (wedge variables are
+	// only created for links without one). Middleboxes are not device
+	// configuration; attribute them to a pseudo-device per link.
+	// Their weight is configurable — placing a firewall typically costs
+	// more than editing a configuration line.
+	for name, f := range e.wedgeVars {
+		e.softWeighted("link:"+name, formula.Not(f), e.opts.WaypointWeight)
+	}
+	e.finalizeSofts()
+}
+
+// solve runs MaxSAT and returns the violated-soft count.
+func (e *encoder) solve() (int, sat.Status) {
+	res := maxsat.SolveWeighted(e.s, e.softs, e.weights, e.opts.Algorithm)
+	return res.Cost, res.Status
+}
+
+// extract reads the model into the merged repaired state, writing only
+// the levels this problem solved. The orchestrator applies the
+// follow-the-parent rule for unsolved levels afterwards.
+func (e *encoder) extract(out *harc.State) {
+	if !e.freezeAll {
+		for _, s := range e.h.Slots {
+			var name string
+			switch s.Kind {
+			case arc.SlotInterDevice:
+				name = e.canonical[s.Key()]
+			case arc.SlotIntraRedist:
+				name = s.Key()
+			default:
+				continue // self edges are constant; attach slots have no aETG level
+			}
+			if e.b.HasVar("eA|" + name) {
+				out.All[s.Key()] = e.b.Value(vA(name))
+			}
+		}
+	}
+	for _, dst := range e.dsts {
+		dm := out.Dst[dst.Name]
+		for _, s := range e.h.Slots {
+			if !applicableDst(s, dst) {
+				continue
+			}
+			name := "eD|" + dst.Name + "|" + s.Key()
+			if e.b.HasVar(name) {
+				dm[s.Key()] = e.b.Value(formula.Var(name))
+			}
+			switch s.Kind {
+			case arc.SlotIntraSelf:
+				rfName := "rf|" + dst.Name + "|" + s.FromProc.Name()
+				if e.b.HasVar(rfName) {
+					out.RouteFilter[harc.RFKey(dst.Name, s.FromProc.Name())] = e.b.Value(formula.Var(rfName))
+				}
+			case arc.SlotInterDevice:
+				stName := "st|" + dst.Name + "|" + s.Key()
+				if e.b.HasVar(stName) {
+					out.Static[harc.StaticKey(dst.Name, s.Key())] = e.b.Value(formula.Var(stName))
+				}
+			}
+		}
+	}
+	for _, tc := range e.tcs {
+		m := out.TC[tc.Key()]
+		for _, s := range e.tcSlots(tc) {
+			name := "eT|" + tc.String() + "|" + s.Key()
+			if e.b.HasVar(name) {
+				m[s.Key()] = e.b.Value(formula.Var(name))
+			}
+		}
+	}
+	for ck, vec := range e.costVecs {
+		out.Cost[ck] = int64(bv.Value(e.b, vec))
+	}
+	for name, f := range e.wedgeVars {
+		if e.b.Value(f) {
+			out.Waypoint[name] = true
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/translate"
+)
+
+// figure10 builds the example network of Figure 10: sources S1 (at W)
+// and S2 (at X), both routing through Y to Z, where destination D
+// attaches. "S1 -> D is always blocked" holds (an ACL on Y's interface
+// from W); "S2 -> D is always blocked" is violated.
+func figure10() *topology.Network {
+	n := topology.NewNetwork()
+	w := n.AddDevice("W")
+	x := n.AddDevice("X")
+	y := n.AddDevice("Y")
+	z := n.AddDevice("Z")
+
+	mk := func(d *topology.Device, name, addr string) *topology.Interface {
+		i := d.AddInterface(name)
+		i.Prefix = netip.MustParsePrefix(addr)
+		return i
+	}
+	wy := mk(w, "toY", "10.0.1.1/24")
+	yw := mk(y, "toW", "10.0.1.2/24")
+	xy := mk(x, "toY", "10.0.2.1/24")
+	yx := mk(y, "toX", "10.0.2.2/24")
+	yz := mk(y, "toZ", "10.0.3.1/24")
+	zy := mk(z, "toY", "10.0.3.2/24")
+	n.AddLink(wy, yw)
+	n.AddLink(xy, yx)
+	n.AddLink(yz, zy)
+
+	s1 := n.AddSubnet("S1", netip.MustParsePrefix("20.0.1.0/24"))
+	hs1 := mk(w, "h0", "20.0.1.1/24")
+	hs1.Subnet = s1
+	s2 := n.AddSubnet("S2", netip.MustParsePrefix("20.0.2.0/24"))
+	hs2 := mk(x, "h0", "20.0.2.1/24")
+	hs2.Subnet = s2
+	d := n.AddSubnet("D", netip.MustParsePrefix("20.0.3.0/24"))
+	hd := mk(z, "h0", "20.0.3.1/24")
+	hd.Subnet = d
+
+	for _, dev := range []*topology.Device{w, x, y, z} {
+		p := dev.AddProcess(topology.OSPF, 1)
+		p.Passive = map[string]bool{}
+		p.RedistributeConnected = true
+		for _, intf := range dev.Interfaces() {
+			if intf.Subnet == nil {
+				p.Interfaces = append(p.Interfaces, intf)
+			}
+		}
+	}
+	// ACL on Y's interface from W blocking S1 -> D.
+	acl := y.AddACL("BLOCK-S1")
+	acl.Entries = []topology.ACLEntry{
+		{Permit: false, Src: s1.Prefix, Dst: d.Prefix},
+		{Permit: true},
+	}
+	yw.InACL = "BLOCK-S1"
+	return n
+}
+
+// TestFigure10MinimalImpact reproduces §8.3's example: an operator might
+// disable the Y-Z adjacency (impacting both classes toward D), whereas
+// CPR's repair blocks only S2 -> D — the same number of lines but half
+// the traffic classes impacted.
+func TestFigure10MinimalImpact(t *testing.T) {
+	n := figure10()
+	h := harc.Build(n)
+	s1d := topology.TrafficClass{Src: n.Subnet("S1"), Dst: n.Subnet("D")}
+	s2d := topology.TrafficClass{Src: n.Subnet("S2"), Dst: n.Subnet("D")}
+	ps := []policy.Policy{
+		{Kind: policy.AlwaysBlocked, TC: s1d},
+		{Kind: policy.AlwaysBlocked, TC: s2d},
+	}
+	if len(policy.Violations(h, ps)) != 1 {
+		t.Fatalf("exactly S2->D should be violated, got %v", policy.Violations(h, ps))
+	}
+	res, err := Repair(h, ps, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("unsolved: %+v", res.Stats)
+	}
+	if v := VerifyRepair(h, res.State, ps); len(v) != 0 {
+		t.Fatalf("still violates: %v", v)
+	}
+	if res.Changes != 1 {
+		t.Errorf("changes = %d, want 1 (single ACL)", res.Changes)
+	}
+	orig := harc.StateOf(h)
+	impacted := translate.ImpactedTCs(h, orig, res.State)
+	if len(impacted) != 1 || impacted[0].Key() != s2d.Key() {
+		t.Errorf("impacted = %v, want just S2->D (the operator's adjacency repair would impact both)", impacted)
+	}
+	// The operator's alternative — disabling Y-Z — is also one line but
+	// impacts every class through the link; demonstrate by applying it.
+	n2 := figure10()
+	p := n2.Device("Y").Process(topology.OSPF, 1)
+	p.Passive["toZ"] = true
+	h2 := harc.Build(n2)
+	if v := policy.Violations(h2, []policy.Policy{
+		{Kind: policy.AlwaysBlocked, TC: topology.TrafficClass{Src: n2.Subnet("S1"), Dst: n2.Subnet("D")}},
+		{Kind: policy.AlwaysBlocked, TC: topology.TrafficClass{Src: n2.Subnet("S2"), Dst: n2.Subnet("D")}},
+	}); len(v) != 0 {
+		t.Fatalf("operator repair should also satisfy both policies: %v", v)
+	}
+	opImpacted := translate.ImpactedTCs(h, orig, harc.StateOf(h2))
+	if len(opImpacted) <= len(impacted) {
+		t.Errorf("operator impact %d should exceed CPR impact %d (Figure 10)", len(opImpacted), len(impacted))
+	}
+}

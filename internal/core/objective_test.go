@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/translate"
+)
+
+// planDevices translates the repair against the Figure 2a configurations
+// and counts the devices whose configuration the plan touches.
+func planDevices(t *testing.T, h *harc.HARC, orig, repaired *harc.State) int {
+	t.Helper()
+	parsed, err := config.ParseFigure2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := map[string]*config.Config{}
+	for _, c := range parsed {
+		cfgs[c.Hostname] = c
+	}
+	plan, err := translate.Translate(h, orig, repaired, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := map[string]bool{}
+	for _, lc := range plan.Lines {
+		devs[lc.Device] = true
+	}
+	return len(devs)
+}
+
+func TestMinDevicesObjective(t *testing.T) {
+	// Block both S->T and R->T: per-line minimality is indifferent
+	// between two ACLs at different devices and two at one device, but
+	// MinDevices must concentrate the changes.
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	s, r, tt := n.Subnet("S"), n.Subnet("R"), n.Subnet("T")
+	ps := []policy.Policy{
+		{Kind: policy.AlwaysBlocked, TC: topology.TrafficClass{Src: s, Dst: tt}},
+		{Kind: policy.AlwaysBlocked, TC: topology.TrafficClass{Src: r, Dst: tt}},
+	}
+	opts := DefaultOptions()
+	opts.Objective = MinDevices
+	res, err := Repair(h, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("unsolved: %+v", res.Stats)
+	}
+	if v := VerifyRepair(h, res.State, ps); len(v) != 0 {
+		t.Fatalf("still violates: %v", v)
+	}
+	orig := harc.StateOf(h)
+	devs := planDevices(t, h, orig, res.State)
+	// Both classes can be blocked by touching a single device (e.g. one
+	// route filter on C for T, or ACLs at one router).
+	if res.Changes != 1 {
+		t.Errorf("MinDevices cost = %d, want 1 (single-device repair exists)", res.Changes)
+	}
+	if devs != 1 {
+		t.Errorf("plan touches %d devices, want 1", devs)
+	}
+}
+
+func TestMinDevicesStillCorrect(t *testing.T) {
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	ps := figure2aPolicies(n)
+	opts := DefaultOptions()
+	opts.Objective = MinDevices
+	res, err := Repair(h, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("unsolved: %+v", res.Stats)
+	}
+	if v := VerifyRepair(h, res.State, ps); len(v) != 0 {
+		t.Fatalf("still violates: %v", v)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MinLines.String() != "min-lines" || MinDevices.String() != "min-devices" {
+		t.Error("Objective strings wrong")
+	}
+}

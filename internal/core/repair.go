@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/arc"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/smt/maxsat"
+	"repro/internal/smt/sat"
+	"repro/internal/topology"
+)
+
+// Granularity selects the MaxSMT decomposition of §5.3.
+type Granularity int
+
+// Decomposition granularities.
+const (
+	// AllTCs formulates a single MaxSMT problem over every traffic class
+	// (maxsmt-all-tcs).
+	AllTCs Granularity = iota
+	// PerDst formulates one MaxSMT problem per destination with at least
+	// one violated policy, solvable in parallel (maxsmt-per-dst). PC4
+	// policies are merged into a single problem because link costs cannot
+	// be customized per destination.
+	PerDst
+)
+
+func (g Granularity) String() string {
+	if g == PerDst {
+		return "maxsmt-per-dst"
+	}
+	return "maxsmt-all-tcs"
+}
+
+// Objective selects the minimality dimension (§5.2).
+type Objective int
+
+// Minimality objectives.
+const (
+	// MinLines minimizes the number of configuration lines changed
+	// (Table 2, the paper's primary objective).
+	MinLines Objective = iota
+	// MinDevices minimizes the number of devices whose configuration
+	// changes (the alternative objective sketched in §5.2).
+	MinDevices
+)
+
+func (o Objective) String() string {
+	if o == MinDevices {
+		return "min-devices"
+	}
+	return "min-lines"
+}
+
+// Options configures the repair engine.
+type Options struct {
+	Granularity Granularity
+	Algorithm   maxsat.Algorithm
+	Objective   Objective
+	// Parallelism bounds concurrent per-destination solves (≤1 means
+	// sequential).
+	Parallelism int
+	// CostBits is the bit width of PC4 edge-cost variables (costs range
+	// 1..2^CostBits-1).
+	CostBits int
+	// DistBits is the bit width of PC4 distance labels.
+	DistBits int
+	// AllowWaypointChanges lets repairs add middleboxes to links
+	// (footnote 2); disable to require ¬wedge for all unwaypointed links.
+	AllowWaypointChanges bool
+	// WaypointWeight is the objective cost of placing one middlebox,
+	// relative to a configuration line (default 1, the paper's implicit
+	// accounting).
+	WaypointWeight int
+	// ConflictBudget bounds each SAT call (0 = unlimited); exceeding it
+	// yields an Unknown problem status, CPR's analogue of the paper's
+	// 8-hour limit.
+	ConflictBudget int64
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation reproduction.
+func DefaultOptions() Options {
+	return Options{
+		Granularity:          PerDst,
+		Algorithm:            maxsat.LinearDescent,
+		Parallelism:          1,
+		CostBits:             4,
+		DistBits:             8,
+		AllowWaypointChanges: true,
+		WaypointWeight:       1,
+	}
+}
+
+// ProblemStat records one MaxSMT sub-problem's outcome.
+type ProblemStat struct {
+	Label      string // destination name, "pc4-merged", or "all-tcs"
+	TCs        int
+	Policies   int
+	Vars       int
+	Softs      int
+	Violations int // violated softs = modeled configuration changes
+	Status     sat.Status
+	Duration   time.Duration
+}
+
+// Result is the outcome of a Repair call.
+type Result struct {
+	// State is the repaired HARC state (defined when Solved).
+	State *harc.State
+	// Changes is the total number of violated soft constraints across
+	// sub-problems: the modeled count of configuration changes.
+	Changes int
+	// Solved reports that every sub-problem found an optimal repair.
+	Solved bool
+	Stats  []ProblemStat
+	// Duration is the wall-clock time of the Repair call; Sequential sums
+	// the individual sub-problem durations (the paper's serial baseline).
+	Duration   time.Duration
+	Sequential time.Duration
+}
+
+// Repair computes a minimal repair of the network's HARC so that every
+// policy holds. It returns an error for malformed inputs; an
+// unsatisfiable specification yields Solved == false with per-problem
+// statuses.
+func Repair(h *harc.HARC, policies []policy.Policy, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.CostBits == 0 {
+		opts.CostBits = 4
+	}
+	if opts.DistBits == 0 {
+		opts.DistBits = 8
+	}
+	if opts.WaypointWeight == 0 {
+		opts.WaypointWeight = 1
+	}
+	orig := harc.StateOf(h)
+	out := orig.Clone()
+	res := &Result{State: out, Solved: true}
+
+	type problem struct {
+		label    string
+		tcs      []topology.TrafficClass
+		policies []policy.Policy
+		freeze   bool
+		enc      *encoder
+		stat     ProblemStat
+	}
+
+	uniqueTCs := func(ps []policy.Policy) []topology.TrafficClass {
+		seen := map[string]bool{}
+		var out []topology.TrafficClass
+		add := func(tc topology.TrafficClass) {
+			if tc.Src != nil && tc.Dst != nil && !seen[tc.Key()] {
+				seen[tc.Key()] = true
+				out = append(out, tc)
+			}
+		}
+		for _, p := range ps {
+			add(p.TC)
+			if p.Kind == policy.Isolated {
+				add(p.TC2)
+			}
+		}
+		return out
+	}
+
+	var problems []*problem
+	switch opts.Granularity {
+	case AllTCs:
+		problems = append(problems, &problem{
+			label:    "all-tcs",
+			tcs:      uniqueTCs(policies),
+			policies: policies,
+			freeze:   false,
+		})
+	case PerDst:
+		groups := policy.GroupByDst(policies)
+		// Destinations coupled by an isolation policy must be solved
+		// together; collect the set of coupled destination names.
+		coupledDst := map[string]bool{}
+		for _, p := range policies {
+			if p.Kind == policy.Isolated && p.TC.Dst.Name != p.TC2.Dst.Name {
+				coupledDst[p.TC.Dst.Name] = true
+				coupledDst[p.TC2.Dst.Name] = true
+			}
+		}
+		var pc4Group []policy.Policy
+		for _, name := range policy.SortedGroupNames(groups) {
+			g := groups[name]
+			merge := coupledDst[name]
+			for _, p := range g {
+				if p.Kind == policy.PrimaryPath {
+					merge = true
+				}
+			}
+			if merge {
+				// Link costs are shared across destinations (PC4), and
+				// isolation couples classes across destinations, so such
+				// groups are merged into one problem.
+				pc4Group = append(pc4Group, g...)
+				continue
+			}
+			if len(policy.Violations(h, g)) == 0 {
+				continue // no violated policy for this destination
+			}
+			problems = append(problems, &problem{
+				label:    name,
+				tcs:      uniqueTCs(g),
+				policies: g,
+				freeze:   true,
+			})
+		}
+		if len(pc4Group) > 0 && len(policy.Violations(h, pc4Group)) > 0 {
+			problems = append(problems, &problem{
+				label:    "pc4-merged",
+				tcs:      uniqueTCs(pc4Group),
+				policies: pc4Group,
+				freeze:   true,
+			})
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown granularity %d", opts.Granularity)
+	}
+
+	// Build and solve each problem (in parallel for per-dst).
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, pr := range problems {
+		wg.Add(1)
+		go func(pr *problem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			enc := newEncoder(h, orig, pr.tcs, pr.policies, pr.freeze, opts)
+			if err := enc.encode(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			cost, status := enc.solve()
+			pr.enc = enc
+			pr.stat = ProblemStat{
+				Label:      pr.label,
+				TCs:        len(pr.tcs),
+				Policies:   len(pr.policies),
+				Vars:       enc.s.NumVars(),
+				Softs:      len(enc.softs),
+				Violations: cost,
+				Status:     status,
+				Duration:   time.Since(t0),
+			}
+		}(pr)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	solvedDsts := map[string]bool{}
+	solvedTCs := map[string]bool{}
+	for _, pr := range problems {
+		res.Stats = append(res.Stats, pr.stat)
+		res.Sequential += pr.stat.Duration
+		if pr.stat.Status != sat.Sat {
+			res.Solved = false
+			continue
+		}
+		res.Changes += pr.stat.Violations
+		pr.enc.extract(out)
+		for _, d := range pr.enc.dsts {
+			solvedDsts[d.Name] = true
+		}
+		for _, tc := range pr.tcs {
+			solvedTCs[tc.Key()] = true
+		}
+	}
+	sort.Slice(res.Stats, func(i, j int) bool { return res.Stats[i].Label < res.Stats[j].Label })
+
+	applyFollowRules(h, orig, out, solvedDsts, solvedTCs)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// applyFollowRules propagates repaired parent levels to unsolved child
+// levels: a child that was aligned with its parent stays aligned (zero
+// configuration changes), while an existing deviation (ACL, route
+// filter, static route) is preserved. This realizes the paper's
+// observation that destination-based routing makes parent changes apply
+// to all children by default.
+func applyFollowRules(h *harc.HARC, orig, out *harc.State, solvedDsts, solvedTCs map[string]bool) {
+	for _, dst := range h.Dsts {
+		if solvedDsts[dst.Name] {
+			continue
+		}
+		dm := out.Dst[dst.Name]
+		origDm := orig.Dst[dst.Name]
+		for _, s := range h.Slots {
+			if !applicableDst(s, dst) || s.Kind == arc.SlotDest {
+				continue
+			}
+			key := s.Key()
+			if origDm[key] == orig.All[key] {
+				dm[key] = out.All[key]
+			}
+		}
+	}
+	for _, tc := range h.TCs {
+		if solvedTCs[tc.Key()] {
+			continue
+		}
+		m := out.TC[tc.Key()]
+		origM := orig.TC[tc.Key()]
+		dm := out.Dst[tc.Dst.Name]
+		origDm := orig.Dst[tc.Dst.Name]
+		for _, s := range h.Slots {
+			if !applicableTC(s, tc) || s.Kind == arc.SlotSource {
+				continue
+			}
+			key := s.Key()
+			if origM[key] == origDm[key] {
+				m[key] = dm[key]
+			}
+		}
+	}
+}
+
+// VerifyRepair checks that every policy holds on the repaired state.
+func VerifyRepair(h *harc.HARC, st *harc.State, policies []policy.Policy) []policy.Policy {
+	var violated []policy.Policy
+	for _, p := range policies {
+		if !policy.CheckState(h, st, p) {
+			violated = append(violated, p)
+		}
+	}
+	return violated
+}

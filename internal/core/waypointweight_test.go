@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// TestWaypointWeightSteersRepair: with cheap waypoints (weight 1) the
+// EP2+EP3 repair may place a firewall on A-C; with expensive waypoints
+// the solver must find a middlebox-free repair if one exists, or pay up.
+func TestWaypointWeightSteersRepair(t *testing.T) {
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	s, tt := n.Subnet("S"), n.Subnet("T")
+	ps := []policy.Policy{
+		{Kind: policy.AlwaysWaypoint, TC: topology.TrafficClass{Src: s, Dst: tt}},
+		{Kind: policy.KReachable, K: 2, TC: topology.TrafficClass{Src: s, Dst: tt}},
+	}
+
+	cheap := DefaultOptions()
+	resCheap, err := Repair(h, ps, cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resCheap.Solved {
+		t.Fatalf("cheap: unsolved: %+v", resCheap.Stats)
+	}
+
+	costly := DefaultOptions()
+	costly.WaypointWeight = 10
+	resCostly, err := Repair(h, ps, costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resCostly.Solved {
+		t.Fatalf("costly: unsolved: %+v", resCostly.Stats)
+	}
+	for _, res := range []*Result{resCheap, resCostly} {
+		if v := VerifyRepair(h, res.State, ps); len(v) != 0 {
+			t.Fatalf("repair violates %v", v)
+		}
+	}
+	// Both satisfy the spec; the weighted objective must not be worse
+	// under the weighting it optimizes: evaluate both states under the
+	// costly weighting.
+	weigh := func(res *Result) int {
+		orig := harc.StateOf(h)
+		cost := 0
+		for name, v := range res.State.Waypoint {
+			if v && !orig.Waypoint[name] {
+				cost += 10
+			}
+		}
+		return cost + nonWaypointChanges(h, orig, res.State)
+	}
+	if weigh(resCostly) > weigh(resCheap) {
+		t.Errorf("costly-weighted repair (%d) should not lose to cheap repair (%d) under its own objective",
+			weigh(resCostly), weigh(resCheap))
+	}
+}
+
+// nonWaypointChanges approximates the line-level change count of a state
+// (construct diffs, excluding waypoints).
+func nonWaypointChanges(h *harc.HARC, a, b *harc.State) int {
+	n := 0
+	for k, v := range a.RouteFilter {
+		if b.RouteFilter[k] != v {
+			n++
+		}
+	}
+	for k, v := range a.Static {
+		if b.Static[k] != v {
+			n++
+		}
+	}
+	for k, v := range a.All {
+		if b.All[k] != v {
+			n++
+		}
+	}
+	for tcKey, am := range a.TC {
+		bm := b.TC[tcKey]
+		for k, v := range am {
+			if bm[k] != v {
+				n++
+			}
+		}
+	}
+	for k, v := range a.Cost {
+		if b.Cost[k] != v {
+			n++
+		}
+	}
+	return n
+}

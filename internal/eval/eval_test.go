@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSmokeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test skipped in -short mode")
+	}
+	cfg := Quick()
+	cfg.CorpusNetworks = 2
+	cfg.SubnetScale = 0.3
+	cfg.PolicySweep = []int{4}
+	cfg.SizeSweepK = []int{4}
+	cfg.Fig8aPolicies = 4
+	cfg.Fig8cPolicies = 6
+	cfg.AllTCsBudget = 100000
+	ctx := NewContext(cfg)
+	reports, err := All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if len(r.Rows) == 0 {
+			t.Errorf("%s produced no rows", r.ID)
+		}
+		r.Render(os.Stderr)
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	durs := []time.Duration{4 * time.Second, 3 * time.Second, 2 * time.Second, 1 * time.Second}
+	if got := makespan(durs, 1); got != 10*time.Second {
+		t.Errorf("1 worker makespan = %v, want 10s", got)
+	}
+	if got := makespan(durs, 2); got != 5*time.Second {
+		t.Errorf("2 worker makespan = %v, want 5s", got)
+	}
+	if got := makespan(durs, 10); got != 4*time.Second {
+		t.Errorf("10 worker makespan = %v, want 4s", got)
+	}
+	if got := makespan(nil, 4); got != 0 {
+		t.Errorf("empty makespan = %v, want 0", got)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Columns: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickAndFullConfigs(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.CorpusNetworks >= f.CorpusNetworks {
+		t.Error("Quick should be smaller than Full")
+	}
+	if f.CorpusNetworks != 96 {
+		t.Errorf("Full corpus = %d networks, want 96 (paper)", f.CorpusNetworks)
+	}
+	if f.Fig8aPolicies != 12 || f.Fig8cPolicies != 30 {
+		t.Error("Full fat-tree policy counts should match the paper (12 and 30)")
+	}
+}
+
+func TestAblationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs several repairs")
+	}
+	ctx := NewContext(Quick())
+	rep, err := Ablation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 6 {
+		t.Fatalf("expected >= 6 variants, got %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[4] != "yes" && !strings.HasPrefix(row[4], "error") && row[4] != "no" {
+			t.Errorf("unexpected spec_holds cell %q in %v", row[4], row)
+		}
+	}
+	// The default configuration must always produce a valid repair.
+	if rep.Rows[0][4] != "yes" {
+		t.Errorf("default variant should satisfy the spec: %v", rep.Rows[0])
+	}
+}
+
+func TestContextCachesCorpus(t *testing.T) {
+	cfg := Quick()
+	cfg.CorpusNetworks = 2
+	cfg.SubnetScale = 0.2
+	ctx := NewContext(cfg)
+	a, err := ctx.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("corpus should be cached")
+	}
+}

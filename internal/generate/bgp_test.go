@@ -1,0 +1,169 @@
+package generate
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+	"repro/internal/translate"
+)
+
+// bgpTriangle builds a three-router eBGP network: leaf1 (AS 65001) and
+// leaf2 (AS 65002) each peer with spine (AS 65000); leaf1 and leaf2 also
+// share a direct link whose session is NOT configured (the candidate the
+// repair may enable).
+func bgpTriangle(t *testing.T) map[string]string {
+	t.Helper()
+	return map[string]string{
+		"leaf1": `hostname leaf1
+!
+interface eth0
+ description Link-to-spine
+ ip address 10.0.1.1 255.255.255.0
+!
+interface eth1
+ description Link-to-leaf2
+ ip address 10.0.3.1 255.255.255.0
+!
+interface eth2
+ description Subnet-NET1
+ ip address 20.0.1.1 255.255.255.0
+!
+router bgp 65001
+ redistribute connected
+ neighbor 10.0.1.2 remote-as 65000
+`,
+		"leaf2": `hostname leaf2
+!
+interface eth0
+ description Link-to-spine
+ ip address 10.0.2.1 255.255.255.0
+!
+interface eth1
+ description Link-to-leaf1
+ ip address 10.0.3.2 255.255.255.0
+!
+interface eth2
+ description Subnet-NET2
+ ip address 20.0.2.1 255.255.255.0
+!
+router bgp 65002
+ redistribute connected
+ neighbor 10.0.2.2 remote-as 65000
+`,
+		"spine": `hostname spine
+!
+interface eth0
+ description Link-to-leaf1
+ ip address 10.0.1.2 255.255.255.0
+!
+interface eth1
+ description Link-to-leaf2
+ ip address 10.0.2.2 255.255.255.0
+!
+router bgp 65000
+ redistribute connected
+ neighbor 10.0.1.1 remote-as 65001
+ neighbor 10.0.2.1 remote-as 65002
+`,
+	}
+}
+
+func loadBGP(t *testing.T) (map[string]*config.Config, *topology.Network) {
+	t.Helper()
+	texts := bgpTriangle(t)
+	cfgs := map[string]*config.Config{}
+	var parsed []*config.Config
+	for name, text := range texts {
+		c, err := config.Parse(name, text)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfgs[name] = c
+		parsed = append(parsed, c)
+	}
+	n, err := config.Extract(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfgs, n
+}
+
+func TestBGPExtraction(t *testing.T) {
+	_, n := loadBGP(t)
+	if n.NumDevices() != 3 || len(n.Links) != 3 {
+		t.Fatalf("devices=%d links=%d", n.NumDevices(), len(n.Links))
+	}
+	// Sessions leaf1-spine and leaf2-spine are up; leaf1-leaf2 is not.
+	leaf1 := n.Device("leaf1")
+	p1 := leaf1.Processes[0]
+	if p1.Proto != topology.BGP || p1.ID != 65001 {
+		t.Fatalf("leaf1 process %+v", p1)
+	}
+	if !p1.UsesInterface(leaf1.Interface("eth0")) {
+		t.Error("leaf1 should peer via eth0")
+	}
+	if p1.UsesInterface(leaf1.Interface("eth1")) {
+		t.Error("leaf1-leaf2 session not configured; eth1 unused")
+	}
+}
+
+func TestBGPReachability(t *testing.T) {
+	_, n := loadBGP(t)
+	h := harc.Build(n)
+	tc := topology.TrafficClass{Src: n.Subnet("NET1"), Dst: n.Subnet("NET2")}
+	p1 := policy.Policy{Kind: policy.KReachable, K: 1, TC: tc}
+	if !policy.Check(h, p1) {
+		t.Fatal("NET1 should reach NET2 via the spine")
+	}
+	// Surviving one failure needs the leaf1-leaf2 session: violated now.
+	p2 := policy.Policy{Kind: policy.KReachable, K: 2, TC: tc}
+	if policy.Check(h, p2) {
+		t.Fatal("K=2 should be violated (only one path)")
+	}
+}
+
+// TestBGPRepairEndToEnd asks for 1-failure tolerance between the leaf
+// subnets. In per-dst mode the aETG is frozen, so the repair must use a
+// static route; in all-tcs mode it may instead enable the leaf1-leaf2
+// BGP session with neighbor statements. Both must verify after patching.
+func TestBGPRepairEndToEnd(t *testing.T) {
+	for _, gran := range []core.Granularity{core.PerDst, core.AllTCs} {
+		cfgs, n := loadBGP(t)
+		h := harc.Build(n)
+		tc := topology.TrafficClass{Src: n.Subnet("NET1"), Dst: n.Subnet("NET2")}
+		rev := topology.TrafficClass{Src: n.Subnet("NET2"), Dst: n.Subnet("NET1")}
+		ps := []policy.Policy{
+			{Kind: policy.KReachable, K: 2, TC: tc},
+			{Kind: policy.KReachable, K: 2, TC: rev},
+		}
+		opts := core.DefaultOptions()
+		opts.Granularity = gran
+		res, err := core.Repair(h, ps, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", gran, err)
+		}
+		if !res.Solved {
+			t.Fatalf("%v: unsolved", gran)
+		}
+		orig := harc.StateOf(h)
+		plan, err := translate.Translate(h, orig, res.State, cfgs)
+		if err != nil {
+			t.Fatalf("%v: translate: %v", gran, err)
+		}
+		if plan.NumLines() == 0 {
+			t.Fatalf("%v: expected changes", gran)
+		}
+		inst := &Instance{Name: "bgp", Configs: cfgs, Policies: ps}
+		if err := inst.Rebuild(); err != nil {
+			t.Fatalf("%v: rebuild: %v", gran, err)
+		}
+		if bad := inst.Violations(); len(bad) != 0 {
+			t.Errorf("%v: rebuilt network violates %v; plan:\n%s", gran, bad, plan)
+		}
+		t.Logf("%v: %d lines:\n%s", gran, plan.NumLines(), plan)
+	}
+}

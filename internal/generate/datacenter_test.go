@@ -1,0 +1,186 @@
+package generate
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func TestDataCenterShape(t *testing.T) {
+	inst, err := DataCenter(DCOptions{Name: "t", Routers: 8, Subnets: 16, BlockedFrac: 0.25, Violations: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Network.NumDevices() != 8 {
+		t.Errorf("devices = %d, want 8", inst.Network.NumDevices())
+	}
+	if len(inst.Network.Subnets) != 16 {
+		t.Errorf("subnets = %d, want 16", len(inst.Network.Subnets))
+	}
+	// One policy per traffic class (Figure 6's "majority of networks").
+	if len(inst.Policies) != 16*15 {
+		t.Errorf("policies = %d, want %d", len(inst.Policies), 16*15)
+	}
+	if err := inst.Network.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataCenterUnbrokenSatisfiesSpec(t *testing.T) {
+	inst, err := DataCenter(DCOptions{Name: "t", Routers: 8, Subnets: 12, BlockedFrac: 0.3, FullyBlockedDsts: 1, Violations: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := inst.Violations(); len(v) != 0 {
+		t.Fatalf("unbroken network violates %d policies: %v", len(v), v[:min(3, len(v))])
+	}
+}
+
+func TestDataCenterBreakerViolates(t *testing.T) {
+	for _, spray := range []bool{false, true} {
+		inst, err := DataCenter(DCOptions{Name: "t", Routers: 8, Subnets: 12, BlockedFrac: 0.3, Violations: 5, SpineSpray: spray, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := inst.Violations()
+		if len(v) == 0 || len(v) > 5 {
+			t.Errorf("spray=%v: violations = %d, want 1-5", spray, len(v))
+		}
+	}
+}
+
+func TestDataCenterMixVaries(t *testing.T) {
+	low, err := DataCenter(DCOptions{Name: "l", Routers: 6, Subnets: 10, BlockedFrac: 0.05, Violations: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := DataCenter(DCOptions{Name: "h", Routers: 6, Subnets: 10, BlockedFrac: 0.5, Violations: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowPC1 := policy.CountByKind(low.Policies)[policy.AlwaysBlocked]
+	highPC1 := policy.CountByKind(high.Policies)[policy.AlwaysBlocked]
+	if lowPC1 >= highPC1 {
+		t.Errorf("PC1 counts should grow with BlockedFrac: %d vs %d", lowPC1, highPC1)
+	}
+}
+
+func TestCorpusCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation is slow in -short mode")
+	}
+	corpus, err := Corpus(CorpusOptions{Networks: 96, SubnetScale: 0.4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 96 {
+		t.Fatalf("corpus size %d, want 96", len(corpus))
+	}
+	var sizes []int
+	for _, inst := range corpus {
+		d := inst.Network.NumDevices()
+		if d < 2 || d > 24 {
+			t.Errorf("%s has %d routers, outside 2-24", inst.Name, d)
+		}
+		sizes = append(sizes, d)
+	}
+	sort.Ints(sizes)
+	median := sizes[len(sizes)/2]
+	if median < 6 || median > 10 {
+		t.Errorf("median routers = %d, want ≈8 (paper §8)", median)
+	}
+}
+
+func TestCorpusNetworksHaveViolations(t *testing.T) {
+	corpus, err := Corpus(CorpusOptions{Networks: 6, SubnetScale: 0.4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range corpus {
+		if len(inst.Violations()) == 0 {
+			t.Errorf("%s has no violated policies", inst.Name)
+		}
+	}
+}
+
+func TestOperatorRepairValidAndComparable(t *testing.T) {
+	inst, err := DataCenter(DCOptions{Name: "t", Routers: 8, Subnets: 12, BlockedFrac: 0.3, FullyBlockedDsts: 1, Violations: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := SimulateOperator(inst, 12)
+	if err != nil {
+		t.Fatalf("SimulateOperator: %v", err)
+	}
+	if op.Lines == 0 {
+		t.Error("operator repair should change lines")
+	}
+	if op.ImpactedTCs == 0 {
+		t.Error("operator repair should impact traffic classes")
+	}
+}
+
+func TestOperatorAggregateBeatsPerPair(t *testing.T) {
+	// A fully-blocked destination with several violated PC1 policies:
+	// the operator aggregates into one any->dst deny (1 line) impacting
+	// every class toward dst; CPR writes one line per violated class.
+	inst, err := DataCenter(DCOptions{Name: "t", Routers: 6, Subnets: 8, BlockedFrac: 0.6, FullyBlockedDsts: 2, Violations: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := inst.Violations()
+	if len(violated) == 0 {
+		t.Skip("seed produced no violations")
+	}
+	op, err := SimulateOperator(inst, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run CPR for comparison.
+	h := inst.Harc()
+	res, err := core.Repair(h, inst.Policies, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("CPR unsolved: %+v", res.Stats)
+	}
+	if bad := core.VerifyRepair(h, res.State, inst.Policies); len(bad) != 0 {
+		t.Fatalf("CPR repair invalid: %v", bad)
+	}
+	t.Logf("operator: %d lines, %d TCs impacted; CPR model changes: %d",
+		op.Lines, op.ImpactedTCs, res.Changes)
+}
+
+func TestCorpusRepairEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end corpus repair is slow in -short mode")
+	}
+	corpus, err := Corpus(CorpusOptions{Networks: 4, SubnetScale: 0.4, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range corpus {
+		h := inst.Harc()
+		res, err := core.Repair(h, inst.Policies, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if !res.Solved {
+			t.Errorf("%s: unsolved", inst.Name)
+			continue
+		}
+		if bad := core.VerifyRepair(h, res.State, inst.Policies); len(bad) != 0 {
+			t.Errorf("%s: repair leaves %d violations", inst.Name, len(bad))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,472 @@
+// Package generate produces the evaluation workloads of the paper (§8):
+// synthetic vanilla fat-tree configurations with PC1-PC4 policies and the
+// corresponding "breaker", a 96-network synthetic data-center corpus
+// calibrated to the paper's published statistics, and a hand-written-
+// repair (operator) simulator used as the Figure 11 baseline.
+package generate
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// Instance is a generated workload: configurations, the extracted
+// network, and the policy specification the network must satisfy.
+type Instance struct {
+	Name     string
+	Configs  map[string]*config.Config
+	Network  *topology.Network
+	Policies []policy.Policy
+}
+
+// Rebuild re-extracts the network from the (possibly mutated)
+// configurations and remaps policy subnet/device references onto it.
+func (inst *Instance) Rebuild() error {
+	var cfgs []*config.Config
+	names := make([]string, 0, len(inst.Configs))
+	for name := range inst.Configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// Round-trip through text so extraction sees exactly what a
+		// parsed file would contain.
+		c, err := config.Parse(name, inst.Configs[name].Print())
+		if err != nil {
+			return err
+		}
+		cfgs = append(cfgs, c)
+		inst.Configs[name] = c
+	}
+	n, err := config.Extract(cfgs)
+	if err != nil {
+		return err
+	}
+	remapped, err := RemapPolicies(inst.Policies, n)
+	if err != nil {
+		return err
+	}
+	inst.Network = n
+	inst.Policies = remapped
+	return nil
+}
+
+// RemapPolicies rebinds policies' subnet pointers to the given network.
+func RemapPolicies(ps []policy.Policy, n *topology.Network) ([]policy.Policy, error) {
+	out := make([]policy.Policy, len(ps))
+	for i, p := range ps {
+		src := n.Subnet(p.TC.Src.Name)
+		dst := n.Subnet(p.TC.Dst.Name)
+		if src == nil || dst == nil {
+			return nil, fmt.Errorf("generate: policy %s references unknown subnet", p)
+		}
+		p.TC = topology.TrafficClass{Src: src, Dst: dst}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Harc builds the instance's HARC.
+func (inst *Instance) Harc() *harc.HARC { return harc.Build(inst.Network) }
+
+// Violations returns the currently violated policies.
+func (inst *Instance) Violations() []policy.Policy {
+	return policy.Violations(inst.Harc(), inst.Policies)
+}
+
+// FatTreeOptions parameterizes the fat-tree workload.
+type FatTreeOptions struct {
+	K              int // port count (even, >= 4): 4 → 20 routers, 6 → 45
+	SubnetsPerEdge int // host subnets per edge switch (default 1)
+	// Policy counts by class; policies are assigned to distinct inter-pod
+	// traffic classes chosen by the seed.
+	PC1, PC2, PC3, PC4 int
+	Seed               int64
+}
+
+// fatTreeLayout captures the structural names for generation.
+type fatTreeLayout struct {
+	k       int
+	cores   []string
+	aggs    [][]string // [pod][i]
+	edges   [][]string // [pod][i]
+	subnets []struct {
+		name   string
+		prefix netip.Prefix
+		pod    int
+		edge   int
+	}
+}
+
+func layoutFatTree(k, subnetsPerEdge int) *fatTreeLayout {
+	half := k / 2
+	l := &fatTreeLayout{k: k}
+	for i := 0; i < half*half; i++ {
+		l.cores = append(l.cores, fmt.Sprintf("core%d", i))
+	}
+	for p := 0; p < k; p++ {
+		var aggs, edges []string
+		for i := 0; i < half; i++ {
+			aggs = append(aggs, fmt.Sprintf("agg%d-%d", p, i))
+			edges = append(edges, fmt.Sprintf("edge%d-%d", p, i))
+		}
+		l.aggs = append(l.aggs, aggs)
+		l.edges = append(l.edges, edges)
+	}
+	idx := 0
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for s := 0; s < subnetsPerEdge; s++ {
+				l.subnets = append(l.subnets, struct {
+					name   string
+					prefix netip.Prefix
+					pod    int
+					edge   int
+				}{
+					name:   fmt.Sprintf("h%d-%d-%d", p, e, s),
+					prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(idx / 250), byte(idx % 250), 0}), 24),
+					pod:    p,
+					edge:   e,
+				})
+				idx++
+			}
+		}
+	}
+	return l
+}
+
+// ftBuilder accumulates per-device configuration text.
+type cfgBuilder struct {
+	host     string
+	lines    []string
+	intfIdx  int
+	acls     map[string][]string // name → entries
+	aclOrder []string
+	router   []string
+}
+
+func newCfgBuilder(host string) *cfgBuilder {
+	return &cfgBuilder{host: host, acls: map[string][]string{}}
+}
+
+// addIntf emits an interface stanza and returns its name.
+func (b *cfgBuilder) addIntf(desc string, addr netip.Addr, bits int, extra ...string) string {
+	name := fmt.Sprintf("eth%d", b.intfIdx)
+	b.intfIdx++
+	b.lines = append(b.lines, "!", "interface "+name)
+	if desc != "" {
+		b.lines = append(b.lines, " description "+desc)
+	}
+	mask := net4Mask(bits)
+	b.lines = append(b.lines, fmt.Sprintf(" ip address %s %s", addr, mask))
+	for _, x := range extra {
+		b.lines = append(b.lines, " "+x)
+	}
+	return name
+}
+
+func net4Mask(bits int) string {
+	var v uint32
+	if bits > 0 {
+		v = ^uint32(0) << (32 - bits)
+	}
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func (b *cfgBuilder) text() string {
+	var sb strings.Builder
+	sb.WriteString("hostname " + b.host + "\n")
+	for _, l := range b.lines {
+		sb.WriteString(l + "\n")
+	}
+	for _, name := range b.aclOrder {
+		sb.WriteString("!\nip access-list extended " + name + "\n")
+		for _, e := range b.acls[name] {
+			sb.WriteString(" " + e + "\n")
+		}
+	}
+	sb.WriteString("!\nrouter ospf 1\n redistribute connected\n network 10.0.0.0 0.255.255.255 area 0\n")
+	for _, l := range b.router {
+		sb.WriteString(" " + l + "\n")
+	}
+	return sb.String()
+}
+
+// FatTree generates an unbroken fat-tree workload whose configurations
+// satisfy the generated policies, matching the paper's synthetic setup:
+// ACLs on core switches block PC1 pairs, waypoints sit on half the
+// core-aggregation links with ACLs steering PC2 pairs through them, and
+// low costs on core0's links induce PC4 primary paths.
+func FatTree(opts FatTreeOptions) (*Instance, error) {
+	if opts.K < 4 || opts.K%2 != 0 {
+		return nil, fmt.Errorf("generate: fat-tree K must be even and >= 4, got %d", opts.K)
+	}
+	if opts.SubnetsPerEdge < 1 {
+		opts.SubnetsPerEdge = 1
+	}
+	half := opts.K / 2
+	l := layoutFatTree(opts.K, opts.SubnetsPerEdge)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	builders := map[string]*cfgBuilder{}
+	for _, c := range l.cores {
+		builders[c] = newCfgBuilder(c)
+	}
+	for p := 0; p < opts.K; p++ {
+		for i := 0; i < half; i++ {
+			builders[l.aggs[p][i]] = newCfgBuilder(l.aggs[p][i])
+			builders[l.edges[p][i]] = newCfgBuilder(l.edges[p][i])
+		}
+	}
+
+	// Choose policy traffic classes among distinct inter-pod subnet pairs.
+	type pair struct{ a, b int } // indices into l.subnets
+	var interPod []pair
+	for i := range l.subnets {
+		for j := range l.subnets {
+			if i != j && l.subnets[i].pod != l.subnets[j].pod {
+				interPod = append(interPod, pair{i, j})
+			}
+		}
+	}
+	rng.Shuffle(len(interPod), func(i, j int) { interPod[i], interPod[j] = interPod[j], interPod[i] })
+	need := opts.PC1 + opts.PC2 + opts.PC3 + opts.PC4
+	if need > len(interPod) {
+		return nil, fmt.Errorf("generate: %d policies requested but only %d inter-pod traffic classes exist", need, len(interPod))
+	}
+	pc1Pairs := interPod[:opts.PC1]
+	pc2Pairs := interPod[opts.PC1 : opts.PC1+opts.PC2]
+	pc3Pairs := interPod[opts.PC1+opts.PC2 : opts.PC1+opts.PC2+opts.PC3]
+	pc4Pairs := interPod[opts.PC1+opts.PC2+opts.PC3 : need]
+
+	usePC4 := opts.PC4 > 0
+	// Waypoint cores: the first half of the core switches carry
+	// middleboxes on all their aggregation links.
+	waypointCore := func(ci int) bool { return ci < len(l.cores)/2 }
+
+	// Core ACL entries: denies for PC1 pairs (on every core) and denies
+	// for PC2 pairs on non-waypoint cores.
+	coreDeny := map[string][]string{} // core name → deny lines
+	denyLine := func(a, b int) string {
+		sa, sb := l.subnets[a], l.subnets[b]
+		return fmt.Sprintf("deny ip %s %s %s %s",
+			sa.prefix.Addr(), wild4(sa.prefix.Bits()), sb.prefix.Addr(), wild4(sb.prefix.Bits()))
+	}
+	for _, pr := range pc1Pairs {
+		for _, c := range l.cores {
+			coreDeny[c] = append(coreDeny[c], denyLine(pr.a, pr.b))
+		}
+	}
+	for _, pr := range pc2Pairs {
+		for ci, c := range l.cores {
+			if !waypointCore(ci) {
+				coreDeny[c] = append(coreDeny[c], denyLine(pr.a, pr.b))
+			}
+		}
+	}
+
+	// Wire links. Address space: 10.x.y.0/24 per link.
+	linkIdx := 0
+	nextLink := func() (netip.Addr, netip.Addr, int) {
+		a := netip.AddrFrom4([4]byte{10, byte(linkIdx / 250), byte(linkIdx % 250), 1})
+		b := netip.AddrFrom4([4]byte{10, byte(linkIdx / 250), byte(linkIdx % 250), 2})
+		linkIdx++
+		return a, b, 24
+	}
+
+	costLine := func(cost int) string { return fmt.Sprintf("ip ospf cost %d", cost) }
+	for p := 0; p < opts.K; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				ea, aa, bits := nextLink()
+				builders[l.edges[p][e]].addIntf("Link-to-"+l.aggs[p][a], ea, bits, costLine(10))
+				builders[l.aggs[p][a]].addIntf("Link-to-"+l.edges[p][e], aa, bits, costLine(10))
+			}
+		}
+		for a := 0; a < half; a++ {
+			for j := 0; j < half; j++ {
+				ci := a*half + j
+				core := l.cores[ci]
+				aa, ca, bits := nextLink()
+				cost := 10
+				if usePC4 && ci == 0 {
+					cost = 1 // induce primary paths via core0
+				}
+				aggExtras := []string{costLine(cost)}
+				coreExtras := []string{costLine(cost), fmt.Sprintf("ip access-group CORE-ACL in")}
+				if waypointCore(ci) {
+					coreExtras = append(coreExtras, "waypoint")
+				}
+				builders[l.aggs[p][a]].addIntf("Link-to-"+core, aa, bits, aggExtras...)
+				builders[core].addIntf("Link-to-"+l.aggs[p][a], ca, bits, coreExtras...)
+			}
+		}
+	}
+	// Host subnets on edge switches.
+	for _, s := range l.subnets {
+		b := builders[l.edges[s.pod][s.edge]]
+		intf := b.addIntf(config.SubnetDescriptionPrefix+s.name, s.prefix.Addr().Next(), s.prefix.Bits())
+		b.router = append(b.router, "passive-interface "+intf)
+	}
+	// Core ACLs (every core has one, even if it only permits).
+	for _, c := range l.cores {
+		b := builders[c]
+		b.aclOrder = append(b.aclOrder, "CORE-ACL")
+		b.acls["CORE-ACL"] = append(coreDeny[c], "permit ip any any")
+	}
+
+	inst := &Instance{Name: fmt.Sprintf("fattree-k%d", opts.K), Configs: map[string]*config.Config{}}
+	for name, b := range builders {
+		cfg, err := config.Parse(name+".cfg", b.text())
+		if err != nil {
+			return nil, fmt.Errorf("generate: fat-tree config %s: %w", name, err)
+		}
+		inst.Configs[name] = cfg
+	}
+	if err := inst.Rebuild(); err != nil {
+		return nil, err
+	}
+
+	// Build the policy list against the extracted network.
+	n := inst.Network
+	tcOf := func(pr pair) topology.TrafficClass {
+		return topology.TrafficClass{Src: n.Subnet(l.subnets[pr.a].name), Dst: n.Subnet(l.subnets[pr.b].name)}
+	}
+	var ps []policy.Policy
+	for _, pr := range pc1Pairs {
+		ps = append(ps, policy.Policy{Kind: policy.AlwaysBlocked, TC: tcOf(pr)})
+	}
+	for _, pr := range pc2Pairs {
+		ps = append(ps, policy.Policy{Kind: policy.AlwaysWaypoint, TC: tcOf(pr)})
+	}
+	for _, pr := range pc3Pairs {
+		ps = append(ps, policy.Policy{Kind: policy.KReachable, K: 2, TC: tcOf(pr)})
+	}
+	for _, pr := range pc4Pairs {
+		sa, sb := l.subnets[pr.a], l.subnets[pr.b]
+		path := []string{
+			l.edges[sa.pod][sa.edge],
+			l.aggs[sa.pod][0], // core0 hangs off agg 0
+			l.cores[0],
+			l.aggs[sb.pod][0],
+			l.edges[sb.pod][sb.edge],
+		}
+		ps = append(ps, policy.Policy{Kind: policy.PrimaryPath, Path: path, TC: tcOf(pr)})
+	}
+	inst.Policies = ps
+	return inst, nil
+}
+
+func wild4(bits int) string {
+	v := ^uint32(0)
+	if bits > 0 {
+		v = ^(^uint32(0) << (32 - bits))
+	}
+	if bits == 0 {
+		v = ^uint32(0)
+	}
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// BreakFatTree damages the instance per §8: it inverts core ACL entries
+// for a subset of the policies (unblocking PC1 pairs, blocking PC3 pairs,
+// letting PC2 pairs bypass waypoints) and moves the low link costs from
+// core0 to a different core (breaking PC4 primary paths). count bounds
+// the number of policies broken (0 = break one of each configured class).
+func BreakFatTree(inst *Instance, seed int64, count int) error {
+	rng := rand.New(rand.NewSource(seed))
+	byKind := map[policy.Kind][]policy.Policy{}
+	for _, p := range inst.Policies {
+		byKind[p.Kind] = append(byKind[p.Kind], p)
+	}
+	var toBreak []policy.Policy
+	for _, kind := range []policy.Kind{policy.AlwaysBlocked, policy.AlwaysWaypoint, policy.KReachable, policy.PrimaryPath} {
+		if len(byKind[kind]) > 0 {
+			toBreak = append(toBreak, byKind[kind][rng.Intn(len(byKind[kind]))])
+		}
+	}
+	if count > 0 {
+		all := append([]policy.Policy(nil), inst.Policies...)
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		toBreak = all
+		if count < len(all) {
+			toBreak = all[:count]
+		}
+	}
+	brokePC4 := false
+	for _, p := range toBreak {
+		switch p.Kind {
+		case policy.AlwaysBlocked:
+			// Remove the denies from every core ACL: the pair becomes
+			// reachable.
+			for name, cfg := range inst.Configs {
+				if !strings.HasPrefix(name, "core") {
+					continue
+				}
+				acl := cfg.ACL("CORE-ACL")
+				removeDeny(acl, p.TC.Src.Prefix, p.TC.Dst.Prefix)
+			}
+		case policy.AlwaysWaypoint:
+			// Remove the steering denies from non-waypoint cores: the
+			// pair may now bypass the middleboxes.
+			for name, cfg := range inst.Configs {
+				if !strings.HasPrefix(name, "core") {
+					continue
+				}
+				acl := cfg.ACL("CORE-ACL")
+				removeDeny(acl, p.TC.Src.Prefix, p.TC.Dst.Prefix)
+			}
+		case policy.KReachable:
+			// Add denies on every core: the pair becomes blocked.
+			for name, cfg := range inst.Configs {
+				if !strings.HasPrefix(name, "core") {
+					continue
+				}
+				acl := cfg.ACL("CORE-ACL")
+				entry := config.ACLEntryLine{Permit: false, Src: p.TC.Src.Prefix, Dst: p.TC.Dst.Prefix}
+				acl.Entries = append([]config.ACLEntryLine{entry}, acl.Entries...)
+			}
+		case policy.PrimaryPath:
+			brokePC4 = true
+		}
+	}
+	if brokePC4 {
+		// Move the low costs from core0's links to core1's.
+		for _, cfg := range inst.Configs {
+			for _, is := range cfg.Interfaces {
+				onCore0 := cfg.Hostname == "core0" || is.Description == "Link-to-core0"
+				onCore1 := cfg.Hostname == "core1" || is.Description == "Link-to-core1"
+				if onCore0 && is.Cost == 1 {
+					is.Cost = 10
+				}
+				if onCore1 {
+					is.Cost = 1
+				}
+			}
+		}
+	}
+	return inst.Rebuild()
+}
+
+// removeDeny drops deny entries exactly matching (src, dst) from the ACL.
+func removeDeny(acl *config.ACLStanza, src, dst netip.Prefix) {
+	if acl == nil {
+		return
+	}
+	out := acl.Entries[:0]
+	for _, e := range acl.Entries {
+		if !e.Permit && e.Src == src && e.Dst == dst {
+			continue
+		}
+		out = append(out, e)
+	}
+	acl.Entries = out
+}

@@ -1,0 +1,147 @@
+package generate
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	inst, err := FatTree(FatTreeOptions{K: 4, PC1: 3, PC2: 3, PC3: 3, PC4: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Network.NumDevices(); got != 20 {
+		t.Errorf("4-port fat-tree has %d routers, want 20 (paper §8)", got)
+	}
+	// Links: pods*(k/2)^2 edge-agg + pods*(k/2)^2 agg-core = 16+16.
+	if got := len(inst.Network.Links); got != 32 {
+		t.Errorf("links = %d, want 32", got)
+	}
+	if got := len(inst.Network.Subnets); got != 8 {
+		t.Errorf("subnets = %d, want 8 (one per edge switch)", got)
+	}
+	if err := inst.Network.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFatTree6PortSize(t *testing.T) {
+	inst, err := FatTree(FatTreeOptions{K: 6, PC3: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Network.NumDevices(); got != 45 {
+		t.Errorf("6-port fat-tree has %d routers, want 45 (paper Fig. 8b)", got)
+	}
+}
+
+func TestFatTreePoliciesInitiallyHold(t *testing.T) {
+	inst, err := FatTree(FatTreeOptions{K: 4, PC1: 3, PC2: 3, PC3: 3, PC4: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Policies) != 12 {
+		t.Fatalf("policies = %d, want 12", len(inst.Policies))
+	}
+	if v := inst.Violations(); len(v) != 0 {
+		t.Fatalf("freshly generated fat-tree violates %d policies: %v", len(v), v)
+	}
+}
+
+func TestFatTreeWaypointsPresent(t *testing.T) {
+	inst, err := FatTree(FatTreeOptions{K: 4, PC2: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wps := 0
+	for _, l := range inst.Network.Links {
+		if l.Waypoint {
+			wps++
+		}
+	}
+	// Half of the core-agg links (cores 0..1 of 4) carry waypoints: 2
+	// cores × 4 pods × 1 agg each = 8.
+	if wps != 8 {
+		t.Errorf("waypoint links = %d, want 8", wps)
+	}
+}
+
+func TestFatTreeDeterministic(t *testing.T) {
+	a, err := FatTree(FatTreeOptions{K: 4, PC1: 2, PC3: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FatTree(FatTreeOptions{K: 4, PC1: 2, PC3: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.Format(a.Policies) != policy.Format(b.Policies) {
+		t.Error("same seed should give same policies")
+	}
+	for name := range a.Configs {
+		if a.Configs[name].Print() != b.Configs[name].Print() {
+			t.Errorf("config %s differs across identical seeds", name)
+		}
+	}
+	c, err := FatTree(FatTreeOptions{K: 4, PC1: 2, PC3: 2, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.Format(a.Policies) == policy.Format(c.Policies) {
+		t.Error("different seeds should (generally) differ")
+	}
+}
+
+func TestFatTreeTooManyPolicies(t *testing.T) {
+	if _, err := FatTree(FatTreeOptions{K: 4, PC1: 10000, Seed: 1}); err == nil {
+		t.Error("expected error for more policies than traffic classes")
+	}
+	if _, err := FatTree(FatTreeOptions{K: 3}); err == nil {
+		t.Error("expected error for odd K")
+	}
+}
+
+func TestBreakFatTreeViolatesEachClass(t *testing.T) {
+	inst, err := FatTree(FatTreeOptions{K: 4, PC1: 3, PC2: 3, PC3: 3, PC4: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BreakFatTree(inst, 99, 0); err != nil {
+		t.Fatal(err)
+	}
+	violated := inst.Violations()
+	kinds := map[policy.Kind]bool{}
+	for _, p := range violated {
+		kinds[p.Kind] = true
+	}
+	for _, k := range []policy.Kind{policy.AlwaysBlocked, policy.AlwaysWaypoint, policy.KReachable, policy.PrimaryPath} {
+		if !kinds[k] {
+			t.Errorf("breaker should violate a %v policy; violated: %v", k, violated)
+		}
+	}
+}
+
+func TestBreakFatTreeCount(t *testing.T) {
+	inst, err := FatTree(FatTreeOptions{K: 4, PC1: 4, PC3: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BreakFatTree(inst, 6, 2); err != nil {
+		t.Fatal(err)
+	}
+	v := inst.Violations()
+	if len(v) == 0 || len(v) > 2 {
+		t.Errorf("breaking 2 policies violated %d: %v", len(v), v)
+	}
+}
+
+func TestSubnetsPerEdgeScaling(t *testing.T) {
+	inst, err := FatTree(FatTreeOptions{K: 4, SubnetsPerEdge: 3, PC3: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.Network.Subnets); got != 24 {
+		t.Errorf("subnets = %d, want 24", got)
+	}
+}

@@ -1,0 +1,184 @@
+package generate
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/translate"
+)
+
+// TestPipelineProperty is the system-level invariant of DESIGN.md: for
+// randomly generated broken networks, CPR's repair translates into
+// configuration patches that re-parse, and the rebuilt network satisfies
+// every policy. It also checks the translation cost stays commensurate
+// with the model-level change count.
+func TestPipelineProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline fuzz is slow in -short mode")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		inst, err := DataCenter(DCOptions{
+			Name:             "fuzz",
+			Routers:          4 + int(seed)%8,
+			Subnets:          6 + int(seed*3)%10,
+			BlockedFrac:      0.15 + float64(seed%4)*0.1,
+			FullyBlockedDsts: int(seed) % 2,
+			Violations:       1 + int(seed)%5,
+			SpineSpray:       seed%3 == 0,
+			Seed:             seed * 7,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		if len(inst.Violations()) == 0 {
+			continue
+		}
+		h := inst.Harc()
+		orig := harc.StateOf(h)
+		res, err := core.Repair(h, inst.Policies, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: repair: %v", seed, err)
+		}
+		if !res.Solved {
+			t.Errorf("seed %d: unsolved", seed)
+			continue
+		}
+		// Model-level check.
+		if bad := core.VerifyRepair(h, res.State, inst.Policies); len(bad) != 0 {
+			t.Errorf("seed %d: repaired state violates %d policies", seed, len(bad))
+			continue
+		}
+		// Hierarchy invariant.
+		if err := h.ValidateState(res.State); err != nil {
+			t.Errorf("seed %d: hierarchy: %v", seed, err)
+		}
+		// Translate and re-verify on rebuilt configs.
+		cfgs, err := translate.CloneConfigs(inst.Configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := translate.Translate(h, orig, res.State, cfgs)
+		if err != nil {
+			t.Errorf("seed %d: translate: %v", seed, err)
+			continue
+		}
+		if plan.NumLines() == 0 && res.Changes > 0 {
+			t.Errorf("seed %d: model changed %d but no lines emitted", seed, res.Changes)
+		}
+		var parsed []*config.Config
+		for name, c := range cfgs {
+			rc, err := config.Parse(name, c.Print())
+			if err != nil {
+				t.Errorf("seed %d: patched %s does not re-parse: %v", seed, name, err)
+				continue
+			}
+			parsed = append(parsed, rc)
+		}
+		n2, err := config.Extract(parsed)
+		if err != nil {
+			t.Errorf("seed %d: extract: %v", seed, err)
+			continue
+		}
+		h2 := harc.Build(n2)
+		ps2, err := RemapPolicies(inst.Policies, n2)
+		if err != nil {
+			t.Errorf("seed %d: remap: %v", seed, err)
+			continue
+		}
+		if bad := policy.Violations(h2, ps2); len(bad) != 0 {
+			t.Errorf("seed %d: rebuilt network violates %d policies (first %s); plan:\n%s",
+				seed, len(bad), bad[0], plan)
+		}
+	}
+}
+
+// TestPlanMatchesSnapshotDiff: the translator's reported line changes
+// must agree with an independent diff of the configuration snapshots —
+// exactly, except that a modified line (OpModify) counts once in the
+// plan and as remove+add in the diff.
+func TestPlanMatchesSnapshotDiff(t *testing.T) {
+	inst, err := DataCenter(DCOptions{
+		Name: "difftest", Routers: 8, Subnets: 12, BlockedFrac: 0.3,
+		FullyBlockedDsts: 1, Violations: 4, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inst.Harc()
+	orig := harc.StateOf(h)
+	res, err := core.Repair(h, inst.Policies, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("unsolved")
+	}
+	cfgs, err := translate.CloneConfigs(inst.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := translate.Translate(h, orig, res.State, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := config.DiffConfigs(inst.Configs, cfgs)
+	modifies := 0
+	for _, lc := range plan.Lines {
+		if lc.Op == config.OpModify {
+			modifies++
+		}
+	}
+	want := plan.NumLines() + modifies
+	if len(diff) != want {
+		t.Errorf("snapshot diff has %d lines, plan reports %d (+%d modifies):\nplan:\n%sdiff:\n%s",
+			len(diff), plan.NumLines(), modifies, plan, config.FormatDiff(diff))
+	}
+}
+
+// TestPipelineFatTreeProperty runs the same invariant over broken
+// fat-trees with all four policy classes.
+func TestPipelineFatTreeProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline fuzz is slow in -short mode")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		inst, err := FatTree(FatTreeOptions{
+			K: 4, PC1: 2, PC2: 2, PC3: 2, PC4: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := BreakFatTree(inst, seed+100, 0); err != nil {
+			t.Fatal(err)
+		}
+		h := inst.Harc()
+		orig := harc.StateOf(h)
+		res, err := core.Repair(h, inst.Policies, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Solved {
+			t.Errorf("seed %d: unsolved", seed)
+			continue
+		}
+		cfgs, err := translate.CloneConfigs(inst.Configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := translate.Translate(h, orig, res.State, cfgs)
+		if err != nil {
+			t.Fatalf("seed %d: translate: %v", seed, err)
+		}
+		repaired := &Instance{Name: "x", Configs: cfgs, Policies: inst.Policies}
+		if err := repaired.Rebuild(); err != nil {
+			t.Fatalf("seed %d: rebuild: %v", seed, err)
+		}
+		if bad := repaired.Violations(); len(bad) != 0 {
+			t.Errorf("seed %d: rebuilt fat-tree violates %d policies (first %s); plan:\n%s",
+				seed, len(bad), bad[0], plan)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package harc implements the Hierarchical Abstract Representation for
+// Control planes (paper §4.3): a traffic-class ETG per (src,dst) pair, a
+// destination ETG per destination subnet, and one all-traffic-classes
+// ETG, all derived from a shared slot table so the hierarchy invariants
+// hold by construction.
+//
+// The package also defines State — the assignment of per-level presence
+// booleans and edge costs that the repair engine searches over — and can
+// rebuild ETGs from a repaired State for re-verification.
+package harc
+
+import (
+	"fmt"
+
+	"repro/internal/arc"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// HARC bundles the three ETG layers of a network for a set of traffic
+// classes.
+type HARC struct {
+	Network *topology.Network
+	Slots   []*arc.Slot
+	ByKey   map[string]*arc.Slot
+
+	TCs  []topology.TrafficClass
+	Dsts []*topology.Subnet
+
+	A  *arc.ETG
+	D  map[string]*arc.ETG // keyed by destination subnet name
+	TC map[string]*arc.ETG // keyed by TrafficClass.Key()
+}
+
+// Build constructs the HARC over every traffic class of the network.
+func Build(n *topology.Network) *HARC {
+	return BuildForTCs(n, n.TrafficClasses())
+}
+
+// BuildForTCs constructs the HARC restricted to the given traffic classes
+// (used by the per-destination decomposition of §5.3).
+func BuildForTCs(n *topology.Network, tcs []topology.TrafficClass) *HARC {
+	slots := arc.Slots(n)
+	h := &HARC{
+		Network: n,
+		Slots:   slots,
+		ByKey:   make(map[string]*arc.Slot, len(slots)),
+		TCs:     tcs,
+		D:       make(map[string]*arc.ETG),
+		TC:      make(map[string]*arc.ETG),
+	}
+	for _, s := range slots {
+		h.ByKey[s.Key()] = s
+	}
+	h.A = arc.BuildAllETG(slots)
+	seen := map[string]bool{}
+	for _, tc := range tcs {
+		h.TC[tc.Key()] = arc.BuildTCETG(slots, tc)
+		if !seen[tc.Dst.Name] {
+			seen[tc.Dst.Name] = true
+			h.Dsts = append(h.Dsts, tc.Dst)
+			h.D[tc.Dst.Name] = arc.BuildDstETG(slots, tc.Dst)
+		}
+	}
+	return h
+}
+
+// TCETG returns the tcETG for tc.
+func (h *HARC) TCETG(tc topology.TrafficClass) *arc.ETG { return h.TC[tc.Key()] }
+
+// DETG returns the dETG for dst.
+func (h *HARC) DETG(dst *topology.Subnet) *arc.ETG { return h.D[dst.Name] }
+
+// ValidateHierarchy checks the HARC well-formedness invariants of §4.3:
+// every tcETG edge exists in the corresponding dETG, and every dETG edge
+// exists in the aETG or (inter-device only) is backed by a static route.
+func (h *HARC) ValidateHierarchy() error {
+	for _, tc := range h.TCs {
+		tcETG := h.TCETG(tc)
+		dETG := h.DETG(tc.Dst)
+		for _, s := range h.Slots {
+			if s.Kind == arc.SlotSource {
+				continue // source edges exist only at the tc level
+			}
+			if tcETG.HasSlot(s) && !dETG.HasSlot(s) {
+				return fmt.Errorf("harc: edge %s in tcETG(%s) but not dETG(%s)", s.Key(), tc, tc.Dst.Name)
+			}
+		}
+	}
+	for _, dst := range h.Dsts {
+		dETG := h.DETG(dst)
+		for _, s := range h.Slots {
+			if !dETG.HasSlot(s) {
+				continue
+			}
+			switch s.Kind {
+			case arc.SlotInterDevice:
+				if !h.A.HasSlot(s) && s.StaticBacked(dst) == nil {
+					return fmt.Errorf("harc: inter-device edge %s in dETG(%s) without aETG edge or static route", s.Key(), dst.Name)
+				}
+			case arc.SlotIntraSelf, arc.SlotIntraRedist:
+				if !h.A.HasSlot(s) && !arc.ProcStaticFor(s.FromProc, dst) {
+					return fmt.Errorf("harc: intra-device edge %s in dETG(%s) but not aETG", s.Key(), dst.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CostKey identifies the shared cost variable of an inter-device slot: the
+// directed egress interface. Routing protocols do not allow per-class or
+// per-destination costs (paper §5.1, constraint 13 discussion), so every
+// slot leaving the same interface shares one cost.
+func CostKey(s *arc.Slot) string {
+	if s.Kind != arc.SlotInterDevice {
+		return ""
+	}
+	return s.FromIntf.Device.Name + "/" + s.FromIntf.Name
+}
+
+// State is an explicit assignment of edge presence per HARC level plus
+// shared edge costs: the search space of the repair engine. Maps are
+// keyed by Slot.Key(); absent keys mean "absent edge". Costs are keyed by
+// CostKey.
+type State struct {
+	All  map[string]bool
+	Dst  map[string]map[string]bool // dst subnet name → slot key → present
+	TC   map[string]map[string]bool // tc key → slot key → present
+	Cost map[string]int64
+	// Waypoint records per-link middlebox presence (keyed by Link.Name());
+	// repairs may add waypoints (paper §2.2, footnote 2).
+	Waypoint map[string]bool
+	// RouteFilter records per-(destination, process) filtering, keyed
+	// "dst|procName"; Static records per-(destination, inter slot) static
+	// routes, keyed "dst|slotKey". These are the constructs the presence
+	// maps are derived from; the translator reads them directly.
+	RouteFilter map[string]bool
+	Static      map[string]bool
+}
+
+// RFKey builds a RouteFilter key.
+func RFKey(dstName, procName string) string { return dstName + "|" + procName }
+
+// StaticKey builds a Static key.
+func StaticKey(dstName, slotKey string) string { return dstName + "|" + slotKey }
+
+// NewState returns an empty state with allocated maps.
+func NewState() *State {
+	return &State{
+		All:         make(map[string]bool),
+		Dst:         make(map[string]map[string]bool),
+		TC:          make(map[string]map[string]bool),
+		Cost:        make(map[string]int64),
+		Waypoint:    make(map[string]bool),
+		RouteFilter: make(map[string]bool),
+		Static:      make(map[string]bool),
+	}
+}
+
+// Clone returns a deep copy.
+func (st *State) Clone() *State {
+	c := NewState()
+	for k, v := range st.All {
+		c.All[k] = v
+	}
+	for d, m := range st.Dst {
+		cm := make(map[string]bool, len(m))
+		for k, v := range m {
+			cm[k] = v
+		}
+		c.Dst[d] = cm
+	}
+	for t, m := range st.TC {
+		cm := make(map[string]bool, len(m))
+		for k, v := range m {
+			cm[k] = v
+		}
+		c.TC[t] = cm
+	}
+	for k, v := range st.Cost {
+		c.Cost[k] = v
+	}
+	for k, v := range st.Waypoint {
+		c.Waypoint[k] = v
+	}
+	for k, v := range st.RouteFilter {
+		c.RouteFilter[k] = v
+	}
+	for k, v := range st.Static {
+		c.Static[k] = v
+	}
+	return c
+}
+
+// StateOf extracts the current state of the HARC: presence of every slot
+// at every level and the cost of every directed interface.
+func StateOf(h *HARC) *State {
+	st := NewState()
+	for _, s := range h.Slots {
+		key := s.Key()
+		if s.Kind != arc.SlotSource && s.Kind != arc.SlotDest {
+			st.All[key] = s.PresentAll()
+		}
+		if ck := CostKey(s); ck != "" {
+			st.Cost[ck] = int64(s.FromIntf.Cost)
+		}
+	}
+	for _, l := range h.Network.Links {
+		st.Waypoint[l.Name()] = l.Waypoint
+	}
+	for _, dst := range h.Dsts {
+		m := make(map[string]bool)
+		for _, s := range h.Slots {
+			if s.Kind == arc.SlotSource {
+				continue
+			}
+			if s.Kind == arc.SlotDest && s.Subnet != dst {
+				continue
+			}
+			m[s.Key()] = s.PresentDst(dst)
+			switch s.Kind {
+			case arc.SlotIntraSelf:
+				st.RouteFilter[RFKey(dst.Name, s.FromProc.Name())] =
+					s.FromProc.BlocksDestination(dst.Prefix)
+			case arc.SlotInterDevice:
+				st.Static[StaticKey(dst.Name, s.Key())] = s.StaticBacked(dst) != nil
+			}
+		}
+		st.Dst[dst.Name] = m
+	}
+	for _, tc := range h.TCs {
+		m := make(map[string]bool)
+		for _, s := range h.Slots {
+			if s.Kind == arc.SlotSource && s.Subnet != tc.Src {
+				continue
+			}
+			if s.Kind == arc.SlotDest && s.Subnet != tc.Dst {
+				continue
+			}
+			m[s.Key()] = s.PresentTC(tc)
+		}
+		st.TC[tc.Key()] = m
+	}
+	return st
+}
+
+// procStatic reports whether the state has a static route for dst
+// leaving through the given process (an inter slot with that tail).
+func (st *State) procStatic(h *HARC, dstName string, proc *topology.Process) bool {
+	for _, s := range h.Slots {
+		if s.Kind != arc.SlotInterDevice || s.FromProc != proc {
+			continue
+		}
+		if st.Static[StaticKey(dstName, s.Key())] {
+			return true
+		}
+	}
+	return false
+}
+
+// SlotCost returns the state's cost for slot s, falling back to the
+// slot's structural weight for non-inter-device slots.
+func (st *State) SlotCost(s *arc.Slot, dst *topology.Subnet) int64 {
+	if ck := CostKey(s); ck != "" {
+		if c, ok := st.Cost[ck]; ok {
+			return c
+		}
+	}
+	return s.Weight(dst)
+}
+
+// BuildTCETGFromState materializes the tcETG encoded in the state for tc:
+// the graph with exactly the slots marked present at the tc level, using
+// the state's costs. Used to re-verify repaired HARCs before translation.
+func BuildTCETGFromState(h *HARC, st *State, tc topology.TrafficClass) *arc.ETG {
+	etg := &arc.ETG{
+		Level:     arc.LevelTC,
+		TC:        tc,
+		DstSubnet: tc.Dst,
+		G:         graph.New(),
+		SlotOf:    make(map[graph.E]*arc.Slot),
+		EdgeOf:    make(map[string]graph.E),
+	}
+	etg.Src = etg.G.AddVertex("SRC")
+	etg.Dst = etg.G.AddVertex("DST")
+	etg.Waypoints = st.Waypoint
+	m := st.TC[tc.Key()]
+	for _, s := range h.Slots {
+		if !m[s.Key()] {
+			continue
+		}
+		if s.Kind == arc.SlotSource && s.Subnet != tc.Src {
+			continue
+		}
+		if s.Kind == arc.SlotDest && s.Subnet != tc.Dst {
+			continue
+		}
+		from := etg.G.AddVertex(s.FromVertex())
+		to := etg.G.AddVertex(s.ToVertex())
+		e := etg.G.AddEdge(from, to, st.SlotCost(s, tc.Dst))
+		etg.SlotOf[e] = s
+		etg.EdgeOf[s.Key()] = e
+	}
+	return etg
+}
+
+// ValidateState checks the hierarchy invariants on an explicit state
+// (constraints 18-19 of Figure 5 plus the static-backing rule for
+// intra-device edges).
+func (h *HARC) ValidateState(st *State) error {
+	for _, tc := range h.TCs {
+		m := st.TC[tc.Key()]
+		dm := st.Dst[tc.Dst.Name]
+		for key, present := range m {
+			s := h.ByKey[key]
+			if s == nil {
+				return fmt.Errorf("harc: state references unknown slot %s", key)
+			}
+			if s.Kind == arc.SlotSource {
+				continue
+			}
+			if present && !dm[key] {
+				return fmt.Errorf("harc: state has %s in tcETG(%s) but not dETG(%s)", key, tc, tc.Dst.Name)
+			}
+		}
+	}
+	for dstName, dm := range st.Dst {
+		for key, present := range dm {
+			if !present {
+				continue
+			}
+			s := h.ByKey[key]
+			if s == nil {
+				return fmt.Errorf("harc: state references unknown slot %s", key)
+			}
+			switch s.Kind {
+			case arc.SlotIntraSelf, arc.SlotIntraRedist:
+				if !st.All[key] && !st.procStatic(h, dstName, s.FromProc) {
+					return fmt.Errorf("harc: state has intra edge %s in dETG(%s) but not aETG", key, dstName)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arc"
+	"repro/internal/graph"
+	"repro/internal/harc"
+	"repro/internal/topology"
+)
+
+// Explain returns a human-readable counterexample for a violated policy:
+// the offending path (PC1/PC2/PC4), the smallest failure scenario found
+// that disconnects the class (PC3), or a shared edge (Isolated). It
+// returns ok=false when the policy actually holds.
+func Explain(h *harc.HARC, p Policy) (witness string, ok bool) {
+	etg := tcETGOf(h, p.TC)
+	switch p.Kind {
+	case AlwaysBlocked:
+		path := etg.G.PathAvoiding(etg.Src, etg.Dst, nil)
+		if path == nil {
+			return "", false
+		}
+		return fmt.Sprintf("traffic can flow via %s", devicePath(etg, path)), true
+
+	case AlwaysWaypoint:
+		path := etg.G.PathAvoiding(etg.Src, etg.Dst, func(e graph.E) bool {
+			return etg.WaypointEdge(e)
+		})
+		if path == nil {
+			return "", false
+		}
+		return fmt.Sprintf("waypoint-free path exists via %s", devicePath(etg, path)), true
+
+	case KReachable:
+		links, found := findKFailure(etg, h.Network, p.K)
+		if !found {
+			return "", false
+		}
+		if len(links) == 0 {
+			return "destination is unreachable even with no failures", true
+		}
+		names := make([]string, len(links))
+		for i, l := range links {
+			names[i] = l.Name()
+		}
+		return fmt.Sprintf("failing link(s) %s disconnects the class", strings.Join(names, ", ")), true
+
+	case PrimaryPath:
+		path, unique := etg.G.ShortestPathUnique(etg.Src, etg.Dst)
+		if path == nil {
+			return "destination is unreachable", true
+		}
+		got := etg.DevicePath(path)
+		want := strings.Join(p.Path, " -> ")
+		if !unique {
+			return fmt.Sprintf("multiple equal-cost shortest paths exist (one is %s); forwarding is ambiguous", strings.Join(got, " -> ")), true
+		}
+		if strings.Join(got, " -> ") == want {
+			return "", false
+		}
+		return fmt.Sprintf("traffic uses %s instead of %s", strings.Join(got, " -> "), want), true
+
+	case Isolated:
+		other := tcETGOf(h, p.TC2)
+		for key := range etg.EdgeOf {
+			if _, shared := other.EdgeOf[key]; shared {
+				return fmt.Sprintf("classes share edge %s", key), true
+			}
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// findKFailure searches for a set of fewer than k failed links that
+// disconnects SRC from DST; found=false means the policy holds.
+func findKFailure(e *arc.ETG, n *topology.Network, k int) (links []*topology.Link, found bool) {
+	if k < 1 {
+		return nil, false
+	}
+	if !e.G.PathExists(e.Src, e.Dst) {
+		return nil, true
+	}
+	failed := make(map[*topology.Link]bool)
+	var rec func(start, remaining int) []*topology.Link
+	rec = func(start, remaining int) []*topology.Link {
+		if remaining == 0 {
+			if !e.WithoutLinks(failed).G.PathExists(e.Src, e.Dst) {
+				out := make([]*topology.Link, 0, len(failed))
+				for l := range failed {
+					out = append(out, l)
+				}
+				return out
+			}
+			return nil
+		}
+		for i := start; i <= len(n.Links)-remaining; i++ {
+			failed[n.Links[i]] = true
+			if bad := rec(i+1, remaining-1); bad != nil {
+				return bad
+			}
+			delete(failed, n.Links[i])
+		}
+		return nil
+	}
+	// Try smaller failure sets first for the most informative witness.
+	for size := 1; size <= k-1; size++ {
+		if bad := rec(0, size); bad != nil {
+			return bad, true
+		}
+	}
+	return nil, false
+}
+
+// devicePath renders an ETG vertex path as "SRC -> A -> B -> DST".
+func devicePath(e *arc.ETG, path []graph.V) string {
+	devs := e.DevicePath(path)
+	return "SRC -> " + strings.Join(devs, " -> ") + " -> DST"
+}
+
+// ExplainAll renders one line per violated policy.
+func ExplainAll(h *harc.HARC, policies []Policy) []string {
+	var out []string
+	for _, p := range policies {
+		if w, violated := Explain(h, p); violated {
+			out = append(out, fmt.Sprintf("%s: %s", p, w))
+		}
+	}
+	return out
+}

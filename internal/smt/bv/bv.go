@@ -1,0 +1,150 @@
+// Package bv implements fixed-width unsigned integers over boolean
+// formulas (bit-blasting): constants, fresh vectors, ripple-carry
+// addition, and comparisons. It provides the integer theory CPR's PC4
+// constraints need (edge costs and shortest-path distances, Figure 5
+// constraints 13-17) on top of the SAT substrate.
+package bv
+
+import (
+	"fmt"
+
+	"repro/internal/smt/formula"
+)
+
+// Vec is an unsigned integer as bits, least-significant first.
+type Vec []*formula.F
+
+// Const returns the width-bit constant v. Panics if v does not fit.
+func Const(v uint64, width int) Vec {
+	if width < 64 && v >= 1<<uint(width) {
+		panic(fmt.Sprintf("bv: constant %d does not fit in %d bits", v, width))
+	}
+	out := make(Vec, width)
+	for i := 0; i < width; i++ {
+		if v&(1<<uint(i)) != 0 {
+			out[i] = formula.True
+		} else {
+			out[i] = formula.False
+		}
+	}
+	return out
+}
+
+// New returns a width-bit vector of fresh named variables name.0 ...
+// name.<width-1>.
+func New(name string, width int) Vec {
+	out := make(Vec, width)
+	for i := range out {
+		out[i] = formula.Var(fmt.Sprintf("%s.%d", name, i))
+	}
+	return out
+}
+
+// Width returns the bit width.
+func (v Vec) Width() int { return len(v) }
+
+// bit returns bit i, or False beyond the width.
+func (v Vec) bit(i int) *formula.F {
+	if i < len(v) {
+		return v[i]
+	}
+	return formula.False
+}
+
+// Add returns a+b with width max(len(a),len(b))+1 (no overflow).
+func Add(a, b Vec) Vec {
+	width := len(a)
+	if len(b) > width {
+		width = len(b)
+	}
+	out := make(Vec, width+1)
+	carry := formula.False
+	for i := 0; i < width; i++ {
+		ai, bi := a.bit(i), b.bit(i)
+		out[i] = formula.Xor(formula.Xor(ai, bi), carry)
+		carry = formula.Or(
+			formula.And(ai, bi),
+			formula.And(carry, formula.Or(ai, bi)),
+		)
+	}
+	out[width] = carry
+	return out
+}
+
+// Truncate returns v limited to width bits (high bits dropped). The
+// caller must ensure the dropped bits are zero-constrained if semantics
+// require it.
+func (v Vec) Truncate(width int) Vec {
+	if len(v) <= width {
+		return v
+	}
+	return v[:width]
+}
+
+// Equal returns the formula a == b (widths may differ; missing high bits
+// are zero).
+func Equal(a, b Vec) *formula.F {
+	width := len(a)
+	if len(b) > width {
+		width = len(b)
+	}
+	parts := make([]*formula.F, width)
+	for i := 0; i < width; i++ {
+		parts[i] = formula.Iff(a.bit(i), b.bit(i))
+	}
+	return formula.And(parts...)
+}
+
+// Less returns the formula a < b (unsigned).
+func Less(a, b Vec) *formula.F {
+	width := len(a)
+	if len(b) > width {
+		width = len(b)
+	}
+	// From MSB down: lt = (¬a_i ∧ b_i) ∨ ((a_i ↔ b_i) ∧ lt_rest).
+	lt := formula.False
+	for i := 0; i < width; i++ {
+		ai, bi := a.bit(i), b.bit(i)
+		lt = formula.Or(
+			formula.And(formula.Not(ai), bi),
+			formula.And(formula.Iff(ai, bi), lt),
+		)
+	}
+	return lt
+}
+
+// LessEq returns the formula a <= b (unsigned).
+func LessEq(a, b Vec) *formula.F { return formula.Not(Less(b, a)) }
+
+// NonZero returns the formula v != 0.
+func NonZero(v Vec) *formula.F {
+	parts := make([]*formula.F, len(v))
+	copy(parts, v)
+	return formula.Or(parts...)
+}
+
+// Value reads the vector's integer value from the builder's model.
+func Value(b *formula.Builder, v Vec) uint64 {
+	var out uint64
+	for i, bit := range v {
+		if b.Value(bit) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// AssertEqualConst asserts v == c using unit constraints (cheaper than
+// Assert(Equal(v, Const(c, w)))).
+func AssertEqualConst(b *formula.Builder, v Vec, c uint64) {
+	for i, bit := range v {
+		if c&(1<<uint(i)) != 0 {
+			b.Assert(bit)
+		} else {
+			b.Assert(formula.Not(bit))
+		}
+	}
+	if len(v) < 64 && c>>uint(len(v)) != 0 {
+		b.Assert(formula.False) // constant does not fit: unsatisfiable
+	}
+}

@@ -1,0 +1,193 @@
+package bv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/smt/formula"
+	"repro/internal/smt/sat"
+)
+
+func TestConstRoundTrip(t *testing.T) {
+	s := sat.New()
+	b := formula.NewBuilder(s)
+	v := Const(13, 5)
+	// Force allocation of the const-literal machinery and solve.
+	b.Assert(formula.True)
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if got := Value(b, v); got != 13 {
+		t.Errorf("Value = %d, want 13", got)
+	}
+}
+
+func TestConstOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized constant")
+		}
+	}()
+	Const(16, 4)
+}
+
+func TestAddConstants(t *testing.T) {
+	for _, tc := range []struct{ a, b uint64 }{{0, 0}, {1, 1}, {7, 9}, {15, 15}, {5, 0}} {
+		s := sat.New()
+		bd := formula.NewBuilder(s)
+		sum := Add(Const(tc.a, 4), Const(tc.b, 4))
+		bd.Assert(formula.True)
+		if s.Solve() != sat.Sat {
+			t.Fatal("want sat")
+		}
+		if got := Value(bd, sum); got != tc.a+tc.b {
+			t.Errorf("%d+%d = %d, want %d", tc.a, tc.b, got, tc.a+tc.b)
+		}
+	}
+}
+
+func TestAddVariables(t *testing.T) {
+	s := sat.New()
+	bd := formula.NewBuilder(s)
+	x := New("x", 4)
+	y := New("y", 4)
+	sum := Add(x, y)
+	AssertEqualConst(bd, x, 9)
+	AssertEqualConst(bd, y, 8)
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if got := Value(bd, sum); got != 17 {
+		t.Errorf("sum = %d, want 17 (no overflow: width grows)", got)
+	}
+}
+
+func TestLessAndLessEq(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		lt   bool
+	}{{3, 5, true}, {5, 3, false}, {4, 4, false}, {0, 1, true}, {15, 0, false}}
+	for _, tc := range cases {
+		s := sat.New()
+		bd := formula.NewBuilder(s)
+		f := Less(Const(tc.a, 4), Const(tc.b, 4))
+		bd.Assert(formula.True)
+		if s.Solve() != sat.Sat {
+			t.Fatal("want sat")
+		}
+		if got := bd.Value(f); got != tc.lt {
+			t.Errorf("%d < %d = %v, want %v", tc.a, tc.b, got, tc.lt)
+		}
+		le := bd.Value(LessEq(Const(tc.a, 4), Const(tc.b, 4)))
+		if le != (tc.a <= tc.b) {
+			t.Errorf("%d <= %d = %v", tc.a, tc.b, le)
+		}
+	}
+}
+
+func TestEqualMixedWidths(t *testing.T) {
+	s := sat.New()
+	bd := formula.NewBuilder(s)
+	f := Equal(Const(5, 3), Const(5, 6))
+	g := Equal(Const(5, 3), Const(13, 6))
+	bd.Assert(formula.True)
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if !bd.Value(f) {
+		t.Error("5 == 5 across widths should hold")
+	}
+	if bd.Value(g) {
+		t.Error("5 == 13 should not hold")
+	}
+}
+
+func TestNonZero(t *testing.T) {
+	s := sat.New()
+	bd := formula.NewBuilder(s)
+	x := New("x", 3)
+	bd.Assert(NonZero(x))
+	bd.Assert(formula.Not(x[1]))
+	bd.Assert(formula.Not(x[2]))
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if Value(bd, x) != 1 {
+		t.Errorf("x = %d, want 1", Value(bd, x))
+	}
+}
+
+func TestSolverFindsAddends(t *testing.T) {
+	// x + y == 10, x < y, x > 0: solver must find a concrete split.
+	s := sat.New()
+	bd := formula.NewBuilder(s)
+	x := New("x", 4)
+	y := New("y", 4)
+	sum := Add(x, y)
+	bd.Assert(Equal(sum, Const(10, 5)))
+	bd.Assert(Less(x, y))
+	bd.Assert(NonZero(x))
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	xv, yv := Value(bd, x), Value(bd, y)
+	if xv+yv != 10 || xv >= yv || xv == 0 {
+		t.Errorf("x=%d y=%d violates constraints", xv, yv)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	v := Const(5, 6)
+	if v.Truncate(3).Width() != 3 {
+		t.Error("Truncate width wrong")
+	}
+	if v.Truncate(10).Width() != 6 {
+		t.Error("Truncate should not extend")
+	}
+}
+
+// Property: addition and comparison agree with machine arithmetic.
+func TestDifferentialArithmetic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := uint64(r.Intn(256))
+		b := uint64(r.Intn(256))
+		s := sat.New()
+		bd := formula.NewBuilder(s)
+		va := New("a", 8)
+		vb := New("b", 8)
+		AssertEqualConst(bd, va, a)
+		AssertEqualConst(bd, vb, b)
+		sum := Add(va, vb)
+		if s.Solve() != sat.Sat {
+			return false
+		}
+		if Value(bd, sum) != a+b {
+			return false
+		}
+		if bd.Value(Less(va, vb)) != (a < b) {
+			return false
+		}
+		if bd.Value(LessEq(va, vb)) != (a <= b) {
+			return false
+		}
+		if bd.Value(Equal(va, vb)) != (a == b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssertEqualConstTooBig(t *testing.T) {
+	s := sat.New()
+	bd := formula.NewBuilder(s)
+	x := New("x", 3)
+	AssertEqualConst(bd, x, 9) // does not fit in 3 bits
+	if s.Solve() != sat.Unsat {
+		t.Error("oversized AssertEqualConst should be unsat")
+	}
+}

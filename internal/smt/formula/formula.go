@@ -1,0 +1,323 @@
+// Package formula provides a boolean formula AST with light
+// simplification and a Tseitin transformation onto the CDCL SAT solver.
+// It is the constraint-building layer used by CPR's MaxSMT encoding
+// (Figure 5 of the paper) and by the bitvector arithmetic of package bv.
+package formula
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/smt/sat"
+)
+
+// Op is a formula node kind.
+type Op int
+
+// Node kinds.
+const (
+	OpTrue Op = iota
+	OpFalse
+	OpVar
+	OpNot
+	OpAnd
+	OpOr
+)
+
+// F is an immutable boolean formula node. Construct via the package
+// functions; the zero value is not meaningful.
+type F struct {
+	op   Op
+	name string
+	kids []*F
+}
+
+// True and False are the boolean constants.
+var (
+	True  = &F{op: OpTrue}
+	False = &F{op: OpFalse}
+)
+
+// Var returns a named variable node. Two Var calls with the same name
+// denote the same SAT variable within one Builder.
+func Var(name string) *F { return &F{op: OpVar, name: name} }
+
+// Not negates f, folding constants and double negation.
+func Not(f *F) *F {
+	switch f.op {
+	case OpTrue:
+		return False
+	case OpFalse:
+		return True
+	case OpNot:
+		return f.kids[0]
+	}
+	return &F{op: OpNot, kids: []*F{f}}
+}
+
+// And conjoins fs, flattening nested conjunctions and folding constants.
+func And(fs ...*F) *F {
+	var kids []*F
+	for _, f := range fs {
+		switch f.op {
+		case OpTrue:
+			continue
+		case OpFalse:
+			return False
+		case OpAnd:
+			kids = append(kids, f.kids...)
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return True
+	case 1:
+		return kids[0]
+	}
+	return &F{op: OpAnd, kids: kids}
+}
+
+// Or disjoins fs, flattening nested disjunctions and folding constants.
+func Or(fs ...*F) *F {
+	var kids []*F
+	for _, f := range fs {
+		switch f.op {
+		case OpFalse:
+			continue
+		case OpTrue:
+			return True
+		case OpOr:
+			kids = append(kids, f.kids...)
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return False
+	case 1:
+		return kids[0]
+	}
+	return &F{op: OpOr, kids: kids}
+}
+
+// Implies returns a → b.
+func Implies(a, b *F) *F { return Or(Not(a), b) }
+
+// Iff returns a ↔ b.
+func Iff(a, b *F) *F { return And(Implies(a, b), Implies(b, a)) }
+
+// Xor returns a ⊕ b.
+func Xor(a, b *F) *F { return Or(And(a, Not(b)), And(Not(a), b)) }
+
+// Ite returns the multiplexer: cond ? a : b.
+func Ite(cond, a, b *F) *F { return And(Implies(cond, a), Implies(Not(cond), b)) }
+
+// String renders the formula for debugging.
+func (f *F) String() string {
+	switch f.op {
+	case OpTrue:
+		return "true"
+	case OpFalse:
+		return "false"
+	case OpVar:
+		return f.name
+	case OpNot:
+		return "!" + f.kids[0].String()
+	case OpAnd, OpOr:
+		opStr := " & "
+		if f.op == OpOr {
+			opStr = " | "
+		}
+		parts := make([]string, len(f.kids))
+		for i, k := range f.kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, opStr) + ")"
+	}
+	return "?"
+}
+
+// Builder maps formulas onto a SAT solver: named variables to solver
+// variables and composite nodes to Tseitin-defined literals.
+type Builder struct {
+	S     *sat.Solver
+	vars  map[string]sat.Var
+	cache map[*F]sat.Lit
+	// constTrue is a literal asserted true, used for constant nodes.
+	constTrue sat.Lit
+	hasConst  bool
+}
+
+// NewBuilder wraps a solver.
+func NewBuilder(s *sat.Solver) *Builder {
+	return &Builder{S: s, vars: make(map[string]sat.Var), cache: make(map[*F]sat.Lit)}
+}
+
+// VarLit returns (allocating on first use) the solver variable for name.
+func (b *Builder) VarLit(name string) sat.Lit {
+	v, ok := b.vars[name]
+	if !ok {
+		v = b.S.NewVar()
+		b.vars[name] = v
+	}
+	return sat.MkLit(v, false)
+}
+
+// Prefer seeds the solver's branching polarity for a named variable;
+// unknown names allocate the variable.
+func (b *Builder) Prefer(name string, val bool) {
+	l := b.VarLit(name)
+	b.S.SetPhase(l.Var(), val)
+}
+
+// HasVar reports whether a named variable has been allocated.
+func (b *Builder) HasVar(name string) bool {
+	_, ok := b.vars[name]
+	return ok
+}
+
+// VarNames returns all allocated variable names, sorted.
+func (b *Builder) VarNames() []string {
+	names := make([]string, 0, len(b.vars))
+	for n := range b.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// trueLit returns a literal constrained to be true.
+func (b *Builder) trueLit() sat.Lit {
+	if !b.hasConst {
+		v := b.S.NewVar()
+		b.constTrue = sat.MkLit(v, false)
+		b.S.AddClause(b.constTrue)
+		b.hasConst = true
+	}
+	return b.constTrue
+}
+
+// Lit returns a solver literal equivalent to f, introducing Tseitin
+// definitions for composite nodes (cached per node).
+func (b *Builder) Lit(f *F) sat.Lit {
+	switch f.op {
+	case OpTrue:
+		return b.trueLit()
+	case OpFalse:
+		return b.trueLit().Not()
+	case OpVar:
+		return b.VarLit(f.name)
+	case OpNot:
+		return b.Lit(f.kids[0]).Not()
+	}
+	if l, ok := b.cache[f]; ok {
+		return l
+	}
+	kidLits := make([]sat.Lit, len(f.kids))
+	for i, k := range f.kids {
+		kidLits[i] = b.Lit(k)
+	}
+	v := b.S.NewVar()
+	l := sat.MkLit(v, false)
+	switch f.op {
+	case OpAnd:
+		// l ↔ AND(kids): (¬l ∨ k_i) for each i; (l ∨ ¬k_1 ∨ ... ∨ ¬k_n).
+		long := make([]sat.Lit, 0, len(kidLits)+1)
+		long = append(long, l)
+		for _, k := range kidLits {
+			b.S.AddClause(l.Not(), k)
+			long = append(long, k.Not())
+		}
+		b.S.AddClause(long...)
+	case OpOr:
+		// l ↔ OR(kids): (¬k_i ∨ l) for each i; (¬l ∨ k_1 ∨ ... ∨ k_n).
+		long := make([]sat.Lit, 0, len(kidLits)+1)
+		long = append(long, l.Not())
+		for _, k := range kidLits {
+			b.S.AddClause(k.Not(), l)
+			long = append(long, k)
+		}
+		b.S.AddClause(long...)
+	default:
+		panic(fmt.Sprintf("formula: unexpected op %d", f.op))
+	}
+	b.cache[f] = l
+	return l
+}
+
+// Assert adds f as a hard constraint. Top-level conjunctions become
+// separate assertions and top-level disjunctions become a single clause,
+// avoiding auxiliary variables where possible.
+func (b *Builder) Assert(f *F) {
+	switch f.op {
+	case OpTrue:
+		return
+	case OpFalse:
+		b.S.AddClause() // empty clause: unsatisfiable
+		return
+	case OpAnd:
+		for _, k := range f.kids {
+			b.Assert(k)
+		}
+		return
+	case OpOr:
+		clause := make([]sat.Lit, len(f.kids))
+		for i, k := range f.kids {
+			clause[i] = b.Lit(k)
+		}
+		b.S.AddClause(clause...)
+		return
+	}
+	b.S.AddClause(b.Lit(f))
+}
+
+// AtMostOne asserts that at most one of fs holds (pairwise encoding; the
+// repair constraints use it for small sets only).
+func (b *Builder) AtMostOne(fs ...*F) {
+	lits := make([]sat.Lit, len(fs))
+	for i, f := range fs {
+		lits[i] = b.Lit(f)
+	}
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			b.S.AddClause(lits[i].Not(), lits[j].Not())
+		}
+	}
+}
+
+// Value evaluates f under the solver's current model (valid after Sat).
+func (b *Builder) Value(f *F) bool {
+	switch f.op {
+	case OpTrue:
+		return true
+	case OpFalse:
+		return false
+	case OpVar:
+		v, ok := b.vars[f.name]
+		if !ok {
+			return false // unconstrained variable defaults to false
+		}
+		return b.S.Value(v)
+	case OpNot:
+		return !b.Value(f.kids[0])
+	case OpAnd:
+		for _, k := range f.kids {
+			if !b.Value(k) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range f.kids {
+			if b.Value(k) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,309 @@
+package formula
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/smt/sat"
+)
+
+func TestConstantFolding(t *testing.T) {
+	a := Var("a")
+	if And() != True {
+		t.Error("empty And should be True")
+	}
+	if Or() != False {
+		t.Error("empty Or should be False")
+	}
+	if And(a, False) != False {
+		t.Error("And with False should fold")
+	}
+	if Or(a, True) != True {
+		t.Error("Or with True should fold")
+	}
+	if And(True, a) != a {
+		t.Error("And(True, a) should be a")
+	}
+	if Or(False, a) != a {
+		t.Error("Or(False, a) should be a")
+	}
+	if Not(True) != False || Not(False) != True {
+		t.Error("Not on constants should fold")
+	}
+	if Not(Not(a)) != a {
+		t.Error("double negation should fold")
+	}
+}
+
+func TestFlattening(t *testing.T) {
+	a, b, c := Var("a"), Var("b"), Var("c")
+	f := And(And(a, b), c)
+	if len(f.kids) != 3 {
+		t.Errorf("nested And not flattened: %s", f)
+	}
+	g := Or(Or(a, b), c)
+	if len(g.kids) != 3 {
+		t.Errorf("nested Or not flattened: %s", g)
+	}
+}
+
+func TestString(t *testing.T) {
+	f := And(Var("a"), Not(Var("b")))
+	if f.String() != "(a & !b)" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func solveF(t *testing.T, f *F) (sat.Status, *Builder) {
+	t.Helper()
+	s := sat.New()
+	b := NewBuilder(s)
+	b.Assert(f)
+	return s.Solve(), b
+}
+
+func TestAssertSat(t *testing.T) {
+	a, b := Var("a"), Var("b")
+	st, bd := solveF(t, And(a, Not(b)))
+	if st != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if !bd.Value(a) || bd.Value(b) {
+		t.Error("model wrong")
+	}
+}
+
+func TestAssertUnsat(t *testing.T) {
+	a := Var("a")
+	st, _ := solveF(t, And(a, Not(a)))
+	if st != sat.Unsat {
+		t.Fatal("want unsat")
+	}
+}
+
+func TestImpliesIffXorIte(t *testing.T) {
+	a, b, c := Var("a"), Var("b"), Var("c")
+	// a ∧ (a→b) forces b.
+	st, bd := solveF(t, And(a, Implies(a, b)))
+	if st != sat.Sat || !bd.Value(b) {
+		t.Error("Implies chain failed")
+	}
+	// Iff: a↔b with ¬a forces ¬b.
+	st, bd = solveF(t, And(Not(a), Iff(a, b)))
+	if st != sat.Sat || bd.Value(b) {
+		t.Error("Iff failed")
+	}
+	// Xor: a⊕b with a forces ¬b.
+	st, bd = solveF(t, And(a, Xor(a, b)))
+	if st != sat.Sat || bd.Value(b) {
+		t.Error("Xor failed")
+	}
+	// Ite: cond ? b : c with cond and ¬b is unsat... cond=a.
+	st, _ = solveF(t, And(a, Not(b), Ite(a, b, c)))
+	if st != sat.Unsat {
+		t.Error("Ite then-branch not enforced")
+	}
+}
+
+func TestAtMostOne(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	vars := []*F{Var("x"), Var("y"), Var("z")}
+	b.AtMostOne(vars...)
+	b.Assert(Var("x"))
+	b.Assert(Var("y"))
+	if s.Solve() != sat.Unsat {
+		t.Error("two of an at-most-one set should be unsat")
+	}
+	s2 := sat.New()
+	b2 := NewBuilder(s2)
+	b2.AtMostOne(vars...)
+	b2.Assert(Var("x"))
+	if s2.Solve() != sat.Sat {
+		t.Error("one of an at-most-one set should be sat")
+	}
+}
+
+func TestVarLitStable(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	l1 := b.VarLit("a")
+	l2 := b.VarLit("a")
+	if l1 != l2 {
+		t.Error("VarLit not stable for same name")
+	}
+	if !b.HasVar("a") || b.HasVar("zz") {
+		t.Error("HasVar wrong")
+	}
+	names := b.VarNames()
+	if len(names) != 1 || names[0] != "a" {
+		t.Errorf("VarNames = %v", names)
+	}
+}
+
+func TestTseitinCacheReuse(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	f := And(Var("a"), Var("b"))
+	l1 := b.Lit(f)
+	l2 := b.Lit(f)
+	if l1 != l2 {
+		t.Error("Tseitin literal should be cached per node")
+	}
+}
+
+// randomFormula builds a random formula over nvars variables.
+func randomFormula(r *rand.Rand, depth, nvars int) *F {
+	if depth == 0 || r.Intn(3) == 0 {
+		v := Var(string(rune('a' + r.Intn(nvars))))
+		if r.Intn(2) == 0 {
+			return Not(v)
+		}
+		return v
+	}
+	n := 2 + r.Intn(2)
+	kids := make([]*F, n)
+	for i := range kids {
+		kids[i] = randomFormula(r, depth-1, nvars)
+	}
+	switch r.Intn(4) {
+	case 0:
+		return And(kids...)
+	case 1:
+		return Or(kids...)
+	case 2:
+		return Not(And(kids...))
+	default:
+		return Implies(kids[0], kids[1%len(kids)])
+	}
+}
+
+// evalBrute evaluates f under an assignment.
+func evalBrute(f *F, assign map[string]bool) bool {
+	switch f.op {
+	case OpTrue:
+		return true
+	case OpFalse:
+		return false
+	case OpVar:
+		return assign[f.name]
+	case OpNot:
+		return !evalBrute(f.kids[0], assign)
+	case OpAnd:
+		for _, k := range f.kids {
+			if !evalBrute(k, assign) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range f.kids {
+			if evalBrute(k, assign) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// collectVars gathers variable names.
+func collectVars(f *F, out map[string]bool) {
+	if f.op == OpVar {
+		out[f.name] = true
+	}
+	for _, k := range f.kids {
+		collectVars(k, out)
+	}
+}
+
+// Property: Tseitin-encoded satisfiability equals brute-force
+// satisfiability, and returned models evaluate to true.
+func TestDifferentialTseitin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nvars := 2 + r.Intn(4)
+		form := randomFormula(r, 3, nvars)
+
+		// Brute force over all assignments.
+		varSet := map[string]bool{}
+		collectVars(form, varSet)
+		var names []string
+		for n := range varSet {
+			names = append(names, n)
+		}
+		bruteSat := false
+		for mask := 0; mask < 1<<len(names); mask++ {
+			assign := map[string]bool{}
+			for i, n := range names {
+				assign[n] = mask&(1<<i) != 0
+			}
+			if evalBrute(form, assign) {
+				bruteSat = true
+				break
+			}
+		}
+
+		s := sat.New()
+		b := NewBuilder(s)
+		b.Assert(form)
+		gotSat := s.Solve() == sat.Sat
+		if gotSat != bruteSat {
+			t.Logf("seed %d: formula %s: sat=%v brute=%v", seed, form, gotSat, bruteSat)
+			return false
+		}
+		if gotSat {
+			// Model must satisfy the formula.
+			if !b.Value(form) {
+				t.Logf("seed %d: model does not satisfy %s", seed, form)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreferSeedsModel(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	// a and b unconstrained; prefer a=true, b=false.
+	b.Prefer("a", true)
+	b.Prefer("b", false)
+	b.Assert(Or(Var("a"), Var("b"), Var("c")))
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if !b.Value(Var("a")) {
+		t.Error("preferred-true variable should come out true")
+	}
+	if b.Value(Var("b")) {
+		t.Error("preferred-false variable should come out false")
+	}
+}
+
+func TestAssertFalseIsUnsat(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	b.Assert(False)
+	if s.Solve() != sat.Unsat {
+		t.Error("asserting False should be unsat")
+	}
+}
+
+func TestConstantsAsSubformulas(t *testing.T) {
+	s := sat.New()
+	b := NewBuilder(s)
+	// Lit on constants.
+	tl := b.Lit(True)
+	fl := b.Lit(False)
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	if !s.ValueLit(tl) || s.ValueLit(fl) {
+		t.Error("constant literals wrong")
+	}
+}

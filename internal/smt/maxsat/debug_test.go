@@ -1,0 +1,108 @@
+package maxsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/smt/sat"
+)
+
+// seed49 rebuilds the failing instance from TestStressLargerDifferential.
+func seed49() (nvars int, hard [][]sat.Lit, softs []sat.Lit) {
+	r := rand.New(rand.NewSource(49))
+	nvars = 10 + r.Intn(8)
+	nhard := 20 + r.Intn(60)
+	nsoft := 5 + r.Intn(15)
+	for i := 0; i < nhard; i++ {
+		var c []sat.Lit
+		width := 2 + r.Intn(2)
+		for j := 0; j < width; j++ {
+			c = append(c, sat.MkLit(sat.Var(r.Intn(nvars)), r.Intn(2) == 0))
+		}
+		hard = append(hard, c)
+	}
+	for i := 0; i < nsoft; i++ {
+		softs = append(softs, sat.MkLit(sat.Var(r.Intn(nvars)), r.Intn(2) == 0))
+	}
+	return
+}
+
+// TestSeed49BoundViaFreshSolver: encode "violations <= 3" with the
+// totalizer in a fresh solver using a unit clause instead of an
+// assumption. If this is Sat while the incremental assumption path said
+// Unsat, the assumption machinery is broken; if this is Unsat, the
+// totalizer (or the brute-force reference) is broken.
+func TestSeed49BoundViaFreshSolver(t *testing.T) {
+	nvars, hard, softs := seed49()
+	want, feasible := bruteOptimum(nvars, hard, softs)
+	t.Logf("brute optimum: %d (feasible=%v)", want, feasible)
+
+	for bound := want; bound <= want+2; bound++ {
+		s := sat.New()
+		for i := 0; i < nvars; i++ {
+			s.NewVar()
+		}
+		for _, c := range hard {
+			s.AddClause(c...)
+		}
+		inputs := make([]sat.Lit, len(softs))
+		for i, l := range softs {
+			inputs[i] = l.Not()
+		}
+		outs := buildTotalizer(s, inputs, len(inputs))
+		s.AddClause(outs[bound].Not()) // ≤ bound violations, as a hard unit
+		st := s.Solve()
+		t.Logf("bound %d via unit clause: %v", bound, st)
+		if st != sat.Sat {
+			t.Errorf("bound %d should be sat (brute optimum is %d)", bound, want)
+		} else if v := countViolated(s, softs); v > bound {
+			t.Errorf("bound %d: model violates %d softs", bound, v)
+		}
+	}
+
+	// Same bound via assumption on a fresh solver.
+	s := sat.New()
+	for i := 0; i < nvars; i++ {
+		s.NewVar()
+	}
+	for _, c := range hard {
+		s.AddClause(c...)
+	}
+	inputs := make([]sat.Lit, len(softs))
+	for i, l := range softs {
+		inputs[i] = l.Not()
+	}
+	outs := buildTotalizer(s, inputs, len(inputs))
+	st := s.Solve(outs[want].Not())
+	t.Logf("bound %d via assumption (fresh): %v", want, st)
+	if st != sat.Sat {
+		t.Errorf("assumption-based bound %d should be sat", want)
+	}
+
+	// Now replay the exact incremental sequence linearDescent performs.
+	s2 := sat.New()
+	for i := 0; i < nvars; i++ {
+		s2.NewVar()
+	}
+	for _, c := range hard {
+		s2.AddClause(c...)
+	}
+	if st := s2.Solve(); st != sat.Sat {
+		t.Fatalf("initial solve: %v", st)
+	}
+	ub := countViolated(s2, softs)
+	t.Logf("initial model violates %d", ub)
+	outs2 := buildTotalizer(s2, inputs, len(inputs))
+	for ub > want {
+		st := s2.Solve(outs2[ub-1].Not())
+		t.Logf("incremental bound %d: %v", ub-1, st)
+		if st != sat.Sat {
+			t.Fatalf("incremental bound %d should be sat (optimum %d)", ub-1, want)
+		}
+		newUB := countViolated(s2, softs)
+		if newUB > ub-1 {
+			t.Fatalf("model after bound %d violates %d", ub-1, newUB)
+		}
+		ub = newUB
+	}
+}

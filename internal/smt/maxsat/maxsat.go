@@ -1,0 +1,306 @@
+// Package maxsat solves partial MaxSAT: given hard clauses (already in a
+// sat.Solver) and a set of unit-weight soft literals, find a model of the
+// hard clauses that violates as few softs as possible.
+//
+// Two exact algorithms are provided, mirroring the MaxSMT engines used by
+// Z3 in the paper: linear SAT→UNSAT descent with a totalizer cardinality
+// encoding, and Fu–Malik core-guided search. Both are exact; the choice
+// is a performance ablation (see bench_test.go).
+package maxsat
+
+import (
+	"repro/internal/smt/sat"
+)
+
+// Algorithm selects the optimization strategy.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// LinearDescent finds an initial model, then repeatedly tightens a
+	// totalizer bound on the number of violated softs until UNSAT.
+	LinearDescent Algorithm = iota
+	// FuMalik relaxes one unsat core per iteration until SAT.
+	FuMalik
+)
+
+func (a Algorithm) String() string {
+	if a == FuMalik {
+		return "fu-malik"
+	}
+	return "linear"
+}
+
+// Result reports the outcome of a MaxSAT solve.
+type Result struct {
+	Status sat.Status
+	// Cost is the number of violated soft literals in the optimum (valid
+	// when Status == Sat). The optimal model is left in the solver.
+	Cost int
+}
+
+// Solve minimizes the number of violated softs. The solver must contain
+// the hard clauses; on return with Status == Sat its model is an optimal
+// assignment.
+func Solve(s *sat.Solver, softs []sat.Lit, algo Algorithm) Result {
+	if algo == FuMalik {
+		return fuMalik(s, softs)
+	}
+	return linearDescent(s, softs)
+}
+
+// SolveWeighted minimizes the total weight of violated softs (weights
+// must be non-negative; zero-weight softs are ignored). Weights are
+// realized by duplication — exact and simple for the small integer
+// weights CPR uses — so Cost is the violated weight sum.
+func SolveWeighted(s *sat.Solver, softs []sat.Lit, weights []int, algo Algorithm) Result {
+	if len(weights) != len(softs) {
+		panic("maxsat: weights and softs length mismatch")
+	}
+	var expanded []sat.Lit
+	for i, l := range softs {
+		if weights[i] < 0 {
+			panic("maxsat: negative soft weight")
+		}
+		for w := 0; w < weights[i]; w++ {
+			expanded = append(expanded, l)
+		}
+	}
+	return Solve(s, expanded, algo)
+}
+
+// countViolated counts softs false under the solver's current model.
+func countViolated(s *sat.Solver, softs []sat.Lit) int {
+	n := 0
+	for _, l := range softs {
+		if !s.ValueLit(l) {
+			n++
+		}
+	}
+	return n
+}
+
+// Violated returns the indices of softs false under the current model.
+func Violated(s *sat.Solver, softs []sat.Lit) []int {
+	var out []int
+	for i, l := range softs {
+		if !s.ValueLit(l) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func linearDescent(s *sat.Solver, softs []sat.Lit) Result {
+	if st := warmStart(s, softs); st != sat.Sat {
+		return Result{Status: st}
+	}
+	ub := countViolated(s, softs)
+	if ub == 0 {
+		return Result{Status: sat.Sat, Cost: 0}
+	}
+	// Violation indicators: v_i true when soft_i is violated.
+	inputs := make([]sat.Lit, len(softs))
+	for i, l := range softs {
+		inputs[i] = l.Not()
+	}
+	// The totalizer is truncated at ub+1 outputs: the search only ever
+	// bounds below the initial model's violation count, and truncation
+	// keeps the encoding O(n·ub) instead of O(n²) clauses. A grossly bad
+	// initial model (huge ub on huge soft sets) would still exhaust
+	// memory, so give up with Unknown instead — callers report DNF.
+	const maxTotalizerClauses = 40_000_000
+	if int64(len(inputs))*int64(ub+1) > maxTotalizerClauses {
+		return Result{Status: sat.Unknown}
+	}
+	outs := buildTotalizer(s, inputs, ub+1)
+	// outs[k] ("at least k+1 violations") false ⇒ at most k violations.
+	for ub > 0 {
+		target := ub - 1
+		st := s.Solve(outs[target].Not())
+		if st == sat.Unsat {
+			// Lock in the optimum bound for subsequent incremental use and
+			// restore the optimal model by re-solving at the optimum.
+			if ub < len(outs) {
+				s.AddClause(outs[ub].Not())
+			}
+			st2 := s.Solve()
+			if st2 != sat.Sat {
+				return Result{Status: st2}
+			}
+			return Result{Status: sat.Sat, Cost: ub}
+		}
+		if st != sat.Sat {
+			return Result{Status: st}
+		}
+		ub = countViolated(s, softs)
+	}
+	return Result{Status: sat.Sat, Cost: 0}
+}
+
+// warmStart finds an initial model that satisfies as many softs as a
+// quick core-guided pass can manage: it assumes every soft and drops the
+// softs of each unsat core until the rest are satisfiable. The resulting
+// model violates at most #cores softs, keeping the descent's truncated
+// totalizer small.
+func warmStart(s *sat.Solver, softs []sat.Lit) sat.Status {
+	active := make(map[sat.Lit]bool, len(softs))
+	for _, l := range softs {
+		active[l] = true
+	}
+	for {
+		asm := make([]sat.Lit, 0, len(active))
+		for _, l := range softs {
+			if active[l] {
+				asm = append(asm, l)
+			}
+		}
+		st := s.Solve(asm...)
+		switch st {
+		case sat.Sat:
+			return sat.Sat
+		case sat.Unsat:
+			core := s.UnsatCore()
+			dropped := false
+			for _, l := range core {
+				if active[l] {
+					delete(active, l)
+					dropped = true
+				}
+			}
+			if !dropped {
+				if len(asm) == 0 {
+					return sat.Unsat // hard clauses alone are unsat
+				}
+				// Defensive: a core with no active soft should not
+				// happen; fall back to an unguided solve.
+				return s.Solve()
+			}
+		default:
+			// Budget exhausted during warm start: try one unguided solve.
+			return s.Solve()
+		}
+	}
+}
+
+// buildTotalizer adds a totalizer over inputs, truncated to cap outputs,
+// and returns output literals outs[0..m-1] (m = min(len(inputs), cap)):
+// outs[k] is implied whenever at least k+1 inputs are true, with counts
+// beyond cap collapsing onto the last output. Only the input→output
+// direction is encoded, which is sufficient for upper-bounding, and
+// truncation keeps the clause count O(n·cap).
+func buildTotalizer(s *sat.Solver, inputs []sat.Lit, cap int) []sat.Lit {
+	if cap > len(inputs) {
+		cap = len(inputs)
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	if len(inputs) == 1 {
+		return inputs
+	}
+	mid := len(inputs) / 2
+	left := buildTotalizer(s, inputs[:mid], cap)
+	right := buildTotalizer(s, inputs[mid:], cap)
+	n := len(left) + len(right)
+	if n > cap {
+		n = cap
+	}
+	outs := make([]sat.Lit, n)
+	for i := range outs {
+		outs[i] = sat.MkLit(s.NewVar(), false)
+	}
+	// left[i-1] alone implies outs[min(i,n)-1]; same for right.
+	for i := 1; i <= len(left); i++ {
+		m := i
+		if m > n {
+			m = n
+		}
+		s.AddClause(left[i-1].Not(), outs[m-1])
+	}
+	for j := 1; j <= len(right); j++ {
+		m := j
+		if m > n {
+			m = n
+		}
+		s.AddClause(right[j-1].Not(), outs[m-1])
+	}
+	// left ≥ i and right ≥ j imply outs ≥ min(i+j, n).
+	for i := 1; i <= len(left); i++ {
+		for j := 1; j <= len(right); j++ {
+			m := i + j
+			if m > n {
+				m = n
+			}
+			s.AddClause(left[i-1].Not(), right[j-1].Not(), outs[m-1])
+		}
+	}
+	return outs
+}
+
+func fuMalik(s *sat.Solver, softs []sat.Lit) Result {
+	// Working clause per soft: (soft_i ∨ relaxers_i ∨ ¬sel_i), assumed via
+	// sel_i. Each discovered core retires the selectors of its softs and
+	// re-issues their clauses with one extra relaxer.
+	type work struct {
+		soft     sat.Lit
+		relaxers []sat.Lit
+		sel      sat.Lit
+	}
+	works := make([]*work, len(softs))
+	bySel := make(map[sat.Lit]int)
+	addWork := func(i int) {
+		w := works[i]
+		w.sel = sat.MkLit(s.NewVar(), false)
+		clause := append([]sat.Lit{w.soft}, w.relaxers...)
+		clause = append(clause, w.sel.Not())
+		s.AddClause(clause...)
+		bySel[w.sel] = i
+	}
+	for i, l := range softs {
+		works[i] = &work{soft: l}
+		addWork(i)
+	}
+	cost := 0
+	for {
+		asm := make([]sat.Lit, len(works))
+		for i, w := range works {
+			asm[i] = w.sel
+		}
+		st := s.Solve(asm...)
+		if st == sat.Sat {
+			return Result{Status: sat.Sat, Cost: cost}
+		}
+		if st != sat.Unsat {
+			return Result{Status: st}
+		}
+		core := s.UnsatCore()
+		coreIdx := make([]int, 0, len(core))
+		for _, l := range core {
+			if i, ok := bySel[l]; ok {
+				coreIdx = append(coreIdx, i)
+			}
+		}
+		if len(coreIdx) == 0 {
+			// The hard clauses alone are unsatisfiable.
+			return Result{Status: sat.Unsat}
+		}
+		cost++
+		var blocks []sat.Lit
+		for _, i := range coreIdx {
+			w := works[i]
+			delete(bySel, w.sel)
+			s.AddClause(w.sel.Not()) // retire old working clause
+			b := sat.MkLit(s.NewVar(), false)
+			w.relaxers = append(w.relaxers, b)
+			blocks = append(blocks, b)
+			addWork(i)
+		}
+		// At most one relaxer of this round may fire.
+		for i := 0; i < len(blocks); i++ {
+			for j := i + 1; j < len(blocks); j++ {
+				s.AddClause(blocks[i].Not(), blocks[j].Not())
+			}
+		}
+	}
+}

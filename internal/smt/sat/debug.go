@@ -1,0 +1,26 @@
+package sat
+
+import "fmt"
+
+// debugVerifyModel panics if any live clause is unsatisfied by the
+// current full assignment. Used only in tests.
+func (s *Solver) debugVerifyModel() {
+	for i, c := range s.clauses {
+		if c == nil {
+			continue
+		}
+		good := false
+		undef := false
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case lTrue:
+				good = true
+			case lUndef:
+				undef = true
+			}
+		}
+		if !good {
+			panic(fmt.Sprintf("clause %d unsatisfied (undef=%v, learned=%v): %v", i, undef, c.learned, c.lits))
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package sat
+
+// debugParanoid enables full-model verification before Sat returns.
+var debugParanoid = false
+
+// DebugParanoid toggles model verification (test helper).
+func DebugParanoid(v bool) { debugParanoid = v }

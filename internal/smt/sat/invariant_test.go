@@ -1,0 +1,136 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkWatches verifies every live clause with >= 2 literals is watched
+// exactly once under each of its first two literals' negations.
+func checkWatches(t *testing.T, s *Solver) {
+	t.Helper()
+	for ref, c := range s.clauses {
+		if c == nil || len(c.lits) < 2 {
+			continue
+		}
+		for slot := 0; slot < 2; slot++ {
+			lit := c.lits[slot]
+			count := 0
+			for _, w := range s.watches[lit.Not()] {
+				if w.cref == ref {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("clause %d (%v) watched %d times under %v", ref, c.lits, count, lit.Not())
+			}
+		}
+	}
+}
+
+// TestIncrementalAssumptionStress hammers one solver with many
+// assumption solves, interleaved clause additions, and checks model
+// validity and watch invariants against a fresh-solver oracle.
+func TestIncrementalAssumptionStress(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nvars := 8 + r.Intn(8)
+		s := New()
+		for i := 0; i < nvars; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		addRandomClauses := func(n int) bool {
+			ok := true
+			for i := 0; i < n; i++ {
+				var c []Lit
+				w := 2 + r.Intn(2)
+				for j := 0; j < w; j++ {
+					c = append(c, MkLit(Var(r.Intn(nvars)), r.Intn(2) == 0))
+				}
+				clauses = append(clauses, c)
+				if !s.AddClause(c...) {
+					ok = false
+				}
+			}
+			return ok
+		}
+		if !addRandomClauses(15 + r.Intn(30)) {
+			continue
+		}
+		for round := 0; round < 8; round++ {
+			nasm := r.Intn(10)
+			var asm []Lit
+			for i := 0; i < nasm; i++ {
+				asm = append(asm, MkLit(Var(r.Intn(nvars)), r.Intn(2) == 0))
+			}
+			st := s.Solve(asm...)
+			checkWatches(t, s)
+			// Oracle: fresh solver with clauses + assumptions as units.
+			o := New()
+			for i := 0; i < nvars; i++ {
+				o.NewVar()
+			}
+			ok := true
+			for _, c := range clauses {
+				if !o.AddClause(c...) {
+					ok = false
+				}
+			}
+			for _, a := range asm {
+				if !o.AddClause(a) {
+					ok = false
+				}
+			}
+			want := Unsat
+			if ok {
+				want = o.Solve()
+			}
+			if st != want {
+				if st == Sat {
+					for ci, c := range clauses {
+						good := false
+						for _, l := range c {
+							if s.ValueLit(l) {
+								good = true
+							}
+						}
+						if !good {
+							t.Logf("model violates clause %d %v", ci, c)
+						}
+					}
+					for _, a := range asm {
+						if !s.ValueLit(a) {
+							t.Logf("model violates assumption %v", a)
+						}
+					}
+				}
+				t.Fatalf("seed %d round %d: incremental=%v oracle=%v (asm=%v)", seed, round, st, want, asm)
+			}
+			if st == Sat {
+				// Model must satisfy all clauses and assumptions.
+				for ci, c := range clauses {
+					good := false
+					for _, l := range c {
+						if s.ValueLit(l) {
+							good = true
+						}
+					}
+					if !good {
+						t.Fatalf("seed %d round %d: model violates clause %d %v", seed, round, ci, c)
+					}
+				}
+				for _, a := range asm {
+					if !s.ValueLit(a) {
+						t.Fatalf("seed %d round %d: model violates assumption %v", seed, round, a)
+					}
+				}
+			}
+			if r.Intn(2) == 0 {
+				if !addRandomClauses(1 + r.Intn(4)) {
+					break
+				}
+			}
+		}
+	}
+}

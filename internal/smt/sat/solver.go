@@ -1,0 +1,785 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver: two-watched-literal propagation, 1UIP conflict analysis with
+// recursive clause minimization, VSIDS branching with phase saving, Luby
+// restarts, activity-based learned-clause deletion, incremental solving
+// under assumptions, and unsat-core extraction.
+//
+// It is the satisfiability substrate beneath CPR's MaxSMT formulation
+// (the paper uses Z3; see DESIGN.md for the substitution argument).
+package sat
+
+import (
+	"fmt"
+)
+
+// Var is a boolean variable index (0-based).
+type Var int32
+
+// Lit is a literal: variable 2*v for the positive literal, 2*v+1 for the
+// negation.
+type Lit int32
+
+// MkLit builds a literal from a variable and a sign (true = negated).
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negative.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as ±(var+1), DIMACS style.
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// Status is a solver verdict.
+type Status int
+
+// Solver verdicts.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// clause is a disjunction of literals. Learned clauses carry an activity
+// for deletion heuristics.
+type clause struct {
+	lits     []Lit
+	learned  bool
+	activity float64
+}
+
+// watcher pairs a clause reference with a blocker literal for fast
+// propagation.
+type watcher struct {
+	cref    int
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses  []*clause // nil entries are deleted clauses
+	watches  [][]watcher
+	assigns  []lbool
+	phase    []bool // saved phases
+	level    []int32
+	reason   []int // clause ref or -1
+	trail    []Lit
+	trailLim []int32 // decision-level boundaries in trail
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	seen []bool
+
+	ok          bool
+	model       []lbool // snapshot of the last satisfying assignment
+	numLearned  int
+	maxLearned  int
+	clauseInc   float64
+	assumptions []Lit
+	core        []Lit
+
+	// Stats
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+
+	// Budget limits Solve to roughly this many conflicts (0 = unlimited);
+	// exceeded budgets return Unknown.
+	Budget int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		ok:         true,
+		varInc:     1.0,
+		clauseInc:  1.0,
+		maxLearned: 4000,
+		order:      newVarHeap(),
+	}
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// SetPhase sets the variable's initial branching polarity (overwritten
+// later by phase saving). Seeding phases with a known near-solution
+// steers the first model toward it — CPR seeds the original network
+// state so the initial MaxSAT upper bound is small.
+func (s *Solver) SetPhase(v Var, val bool) { s.phase[v] = val }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.phase = append(s.phase, false)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v, s.activity)
+	return v
+}
+
+// value returns the literal's current assignment.
+func (s *Solver) value(l Lit) lbool {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+// Value returns the variable's value in the model after a Sat result.
+func (s *Solver) Value(v Var) bool { return s.model[v] == lTrue }
+
+// ValueLit returns the literal's truth value in the model.
+func (s *Solver) ValueLit(l Lit) bool {
+	if l.Neg() {
+		return s.model[l.Var()] == lFalse
+	}
+	return s.model[l.Var()] == lTrue
+}
+
+// AddClause adds a clause. Returns false if the formula became trivially
+// unsatisfiable. Clauses may only be added at decision level 0 (i.e.
+// between Solve calls).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Normalize: drop duplicate and false literals; detect tautologies and
+	// satisfied clauses.
+	out := lits[:0:0]
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assigns) {
+			panic("sat: literal references unallocated variable")
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		if seen[l] {
+			continue
+		}
+		if seen[l.Not()] {
+			return true // tautology
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], -1) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != -1 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attach(&clause{lits: out})
+	return true
+}
+
+// attach registers the clause in the watch lists.
+func (s *Solver) attach(c *clause) int {
+	cref := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{cref, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{cref, c.lits[0]})
+	if c.learned {
+		s.numLearned++
+	}
+	return cref
+}
+
+// enqueue assigns literal l with the given reason clause ref.
+func (s *Solver) enqueue(l Lit, from int) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; returns a conflicting clause ref or
+// -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		conflict := -1
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != -1 {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := s.clauses[w.cref]
+			if c == nil {
+				continue // deleted clause
+			}
+			// Ensure c.lits[0] is the other watched literal.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{w.cref, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.cref, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{w.cref, first})
+			if s.value(first) == lFalse {
+				conflict = w.cref
+				s.qhead = len(s.trail)
+			} else {
+				s.enqueue(first, w.cref)
+			}
+		}
+		s.watches[p] = kept
+		if conflict != -1 {
+			return conflict
+		}
+	}
+	return -1
+}
+
+// decisionLevel is the current number of decisions on the trail.
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// newDecisionLevel marks a decision boundary.
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := int(s.trailLim[lvl])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = -1
+		s.order.insert(v, s.activity)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// bumpVar increases a variable's VSIDS activity.
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, s.activity)
+}
+
+// analyze performs 1UIP conflict analysis, returning the learned clause
+// (first literal is the asserting one) and the backtrack level.
+func (s *Solver) analyze(conflictRef int) ([]Lit, int) {
+	learned := []Lit{0} // placeholder for asserting literal
+	counter := 0
+	p := Lit(-1)
+	idx := len(s.trail) - 1
+	cref := conflictRef
+	for {
+		c := s.clauses[cref]
+		if c.learned {
+			s.bumpClause(c)
+		}
+		start := 0
+		if p != Lit(-1) {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find next literal to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		cref = s.reason[p.Var()]
+		s.seen[p.Var()] = false
+		idx--
+		counter--
+		if counter <= 0 {
+			break
+		}
+		// Re-orient: when expanding a reason clause, its first literal is
+		// the implied one (equal to p); skip it via start=1 above.
+		c2 := s.clauses[cref]
+		if c2.lits[0] != p {
+			for k := 1; k < len(c2.lits); k++ {
+				if c2.lits[k] == p {
+					c2.lits[0], c2.lits[k] = c2.lits[k], c2.lits[0]
+					break
+				}
+			}
+		}
+	}
+	learned[0] = p.Not()
+
+	// Clause minimization: drop literals implied by the rest. Keep the
+	// pre-minimization set for seen-flag cleanup: literals removed here
+	// must not leave stale marks for future analyses.
+	toClear := append([]Lit(nil), learned...)
+	for _, l := range learned {
+		s.seen[l.Var()] = true
+	}
+	out := learned[:1]
+	for _, l := range learned[1:] {
+		if !s.redundant(l) {
+			out = append(out, l)
+		}
+	}
+	learned = out
+
+	// Compute backtrack level: second-highest level in clause.
+	btLevel := 0
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].Var()] > s.level[learned[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		btLevel = int(s.level[learned[1].Var()])
+	}
+	for _, l := range toClear {
+		s.seen[l.Var()] = false
+	}
+	return learned, btLevel
+}
+
+// redundant reports whether literal l in a learned clause is implied by
+// the remaining marked literals (simple non-recursive minimization: l is
+// redundant if every literal of its reason clause is already marked or at
+// level 0).
+func (s *Solver) redundant(l Lit) bool {
+	ref := s.reason[l.Var()]
+	if ref == -1 {
+		return false
+	}
+	for _, q := range s.clauses[ref].lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bumpClause increases a learned clause's activity.
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.clauseInc
+	if c.activity > 1e20 {
+		for _, cl := range s.clauses {
+			if cl != nil && cl.learned {
+				cl.activity *= 1e-20
+			}
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+// reduceDB deletes roughly half of the learned clauses, preferring
+// low-activity ones. Reason clauses and binary clauses are kept.
+func (s *Solver) reduceDB() {
+	var learned []int
+	for i, c := range s.clauses {
+		if c != nil && c.learned && len(c.lits) > 2 && !s.isReason(i) {
+			learned = append(learned, i)
+		}
+	}
+	// Partial sort: simple threshold on median activity.
+	if len(learned) == 0 {
+		return
+	}
+	acts := make([]float64, len(learned))
+	for i, ref := range learned {
+		acts[i] = s.clauses[ref].activity
+	}
+	med := quickSelect(acts, len(acts)/2)
+	removed := 0
+	for _, ref := range learned {
+		if s.clauses[ref].activity <= med && removed < len(learned)/2 {
+			s.detach(ref)
+			removed++
+		}
+	}
+}
+
+// isReason reports whether clause ref is the reason of a trail literal.
+func (s *Solver) isReason(ref int) bool {
+	c := s.clauses[ref]
+	if len(c.lits) == 0 {
+		return false
+	}
+	v := c.lits[0].Var()
+	return s.assigns[v] != lUndef && s.reason[v] == ref
+}
+
+// detach deletes a clause lazily (watch lists skip nil clauses).
+func (s *Solver) detach(ref int) {
+	if s.clauses[ref].learned {
+		s.numLearned--
+	}
+	s.clauses[ref] = nil
+}
+
+// quickSelect returns the k-th smallest element of a (a is scrambled).
+func quickSelect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		pivot := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return a[k]
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// After Unsat, UnsatCore returns the subset of assumptions used; after
+// Sat, Value/ValueLit expose the model.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		s.core = nil
+		return Unsat
+	}
+	s.assumptions = assumptions
+	s.core = nil
+	defer s.cancelUntil(0)
+
+	var restarts int64
+	conflictBudget := luby(1) * 100
+	conflictsHere := int64(0)
+	startConflicts := s.Conflicts
+
+	for {
+		if s.Budget > 0 && s.Conflicts-startConflicts > s.Budget {
+			return Unknown
+		}
+		conflictRef := s.propagate()
+		if conflictRef != -1 {
+			s.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				// Conflict with no decisions at all: the formula is
+				// permanently unsatisfiable. Marking ok=false matters for
+				// incremental reuse — the conflict aborted propagation
+				// mid-queue, so the level-0 trail may be missing
+				// implications forever after.
+				s.ok = false
+				s.core = nil
+				return Unsat
+			}
+			if s.decisionLevel() <= len(s.assumptionsOnTrail()) {
+				// Conflict under assumptions only: extract core.
+				s.analyzeFinal(conflictRef)
+				return Unsat
+			}
+			learned, btLevel := s.analyze(conflictRef)
+			s.cancelUntil(btLevel)
+			if len(learned) == 1 {
+				if !s.enqueue(learned[0], -1) {
+					s.ok = false
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learned, learned: true, activity: s.clauseInc}
+				ref := s.attach(c)
+				s.enqueue(learned[0], ref)
+			}
+			s.varInc /= 0.95
+			s.clauseInc /= 0.999
+			if s.numLearned > s.maxLearned {
+				s.reduceDB()
+				s.maxLearned += s.maxLearned / 10
+			}
+			continue
+		}
+		if conflictsHere >= conflictBudget {
+			// Restart.
+			restarts++
+			conflictBudget = luby(restarts+1) * 100
+			conflictsHere = 0
+			s.cancelUntil(0)
+			continue
+		}
+		// Extend with the next assumption, or decide.
+		lvl := s.decisionLevel()
+		if lvl < len(s.assumptions) {
+			a := s.assumptions[lvl]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied; open an empty level to keep the
+				// level↔assumption correspondence.
+				s.newDecisionLevel()
+				continue
+			case lFalse:
+				// Assumption conflicts with current state.
+				s.coreFromFailedAssumption(a)
+				return Unsat
+			}
+			s.newDecisionLevel()
+			s.enqueue(a, -1)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			if debugParanoid {
+				s.debugVerifyModel()
+			}
+			s.model = append(s.model[:0], s.assigns...)
+			return Sat
+		}
+		s.Decisions++
+		s.newDecisionLevel()
+		s.enqueue(MkLit(v, !s.phase[v]), -1)
+	}
+}
+
+// assumptionsOnTrail returns the assumption literals currently enforced
+// (one per decision level up to len(assumptions)).
+func (s *Solver) assumptionsOnTrail() []Lit {
+	n := s.decisionLevel()
+	if n > len(s.assumptions) {
+		n = len(s.assumptions)
+	}
+	return s.assumptions[:n]
+}
+
+// pickBranchVar selects the highest-activity unassigned variable.
+func (s *Solver) pickBranchVar() Var {
+	for {
+		v, ok := s.order.popMax(s.activity)
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// analyzeFinal computes the unsat core from a conflict that depends only
+// on assumptions: all assumption literals reachable backward from the
+// conflict.
+func (s *Solver) analyzeFinal(conflictRef int) {
+	isAssumption := make(map[Lit]bool, len(s.assumptions))
+	for _, a := range s.assumptions {
+		isAssumption[a] = true
+	}
+	var core []Lit
+	seen := make(map[Var]bool)
+	var queue []Var
+	for _, l := range s.clauses[conflictRef].lits {
+		if !seen[l.Var()] {
+			seen[l.Var()] = true
+			queue = append(queue, l.Var())
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if s.level[v] == 0 {
+			continue
+		}
+		ref := s.reason[v]
+		if ref == -1 {
+			// Decision: must be an assumption (conflict is at assumption
+			// levels).
+			for _, a := range s.assumptions {
+				if a.Var() == v {
+					core = append(core, a)
+					break
+				}
+			}
+			continue
+		}
+		for _, l := range s.clauses[ref].lits {
+			if !seen[l.Var()] {
+				seen[l.Var()] = true
+				queue = append(queue, l.Var())
+			}
+		}
+	}
+	s.core = core
+}
+
+// coreFromFailedAssumption computes the core when assumption a is already
+// false on the trail.
+func (s *Solver) coreFromFailedAssumption(a Lit) {
+	core := []Lit{a}
+	seen := map[Var]bool{a.Var(): true}
+	queue := []Var{a.Var()}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if s.level[v] == 0 {
+			continue
+		}
+		ref := s.reason[v]
+		if ref == -1 {
+			for _, asm := range s.assumptions {
+				if asm.Var() == v && asm != a {
+					core = append(core, asm)
+					break
+				}
+			}
+			continue
+		}
+		for _, l := range s.clauses[ref].lits {
+			if !seen[l.Var()] {
+				seen[l.Var()] = true
+				queue = append(queue, l.Var())
+			}
+		}
+	}
+	s.core = core
+}
+
+// UnsatCore returns the subset of the last Solve call's assumptions that
+// were involved in proving unsatisfiability. Valid only after Unsat.
+func (s *Solver) UnsatCore() []Lit { return s.core }
+
+// Okay reports whether the formula is still possibly satisfiable (false
+// after a clause contradiction at level 0).
+func (s *Solver) Okay() bool { return s.ok }

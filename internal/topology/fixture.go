@@ -1,0 +1,89 @@
+package topology
+
+import "net/netip"
+
+// Figure2a builds the example control plane of Figure 2a in the CPR paper:
+// routers A, B, C; subnets R and S attached to A, U attached to B, T
+// attached to C; physical links A-B, B-C (with a firewall waypoint), and
+// A-C (present physically, but router C's interface toward A is passive so
+// no OSPF adjacency exists); an ACL on B's interface toward A blocking
+// traffic destined for U.
+//
+// The returned network satisfies EP1 (S→U always blocked), EP2 (S→T always
+// traverses a waypoint) and EP4 (R→T uses A→B→C with no failures) but
+// violates EP3 (S reaches T with < 2 link failures).
+func Figure2a() *Network {
+	n := NewNetwork()
+
+	a := n.AddDevice("A")
+	b := n.AddDevice("B")
+	c := n.AddDevice("C")
+
+	subR := n.AddSubnet("R", netip.MustParsePrefix("10.10.0.0/16"))
+	subS := n.AddSubnet("S", netip.MustParsePrefix("10.30.0.0/16"))
+	subT := n.AddSubnet("T", netip.MustParsePrefix("10.20.0.0/16"))
+	subU := n.AddSubnet("U", netip.MustParsePrefix("10.40.0.0/16"))
+
+	// Device A interfaces.
+	aToB := a.AddInterface("Ethernet0/1")
+	aToB.Prefix = netip.MustParsePrefix("10.0.1.1/24")
+	aToC := a.AddInterface("Ethernet0/2")
+	aToC.Prefix = netip.MustParsePrefix("10.0.2.1/24")
+	aToR := a.AddInterface("Ethernet0/3")
+	aToR.Prefix = netip.MustParsePrefix("10.10.0.1/16")
+	aToR.Subnet = subR
+	aToS := a.AddInterface("Ethernet0/4")
+	aToS.Prefix = netip.MustParsePrefix("10.30.0.1/16")
+	aToS.Subnet = subS
+
+	// Device B interfaces.
+	bToA := b.AddInterface("Ethernet0/1")
+	bToA.Prefix = netip.MustParsePrefix("10.0.1.2/24")
+	bToC := b.AddInterface("Ethernet0/2")
+	bToC.Prefix = netip.MustParsePrefix("10.0.3.2/24")
+	bToU := b.AddInterface("Ethernet0/3")
+	bToU.Prefix = netip.MustParsePrefix("10.40.0.1/16")
+	bToU.Subnet = subU
+
+	// Device C interfaces (matching Figure 1).
+	cToA := c.AddInterface("Ethernet0/1")
+	cToA.Prefix = netip.MustParsePrefix("10.0.2.3/24")
+	cToB := c.AddInterface("Ethernet0/2")
+	cToB.Prefix = netip.MustParsePrefix("10.0.3.3/24")
+	cToT := c.AddInterface("Ethernet0/3")
+	cToT.Prefix = netip.MustParsePrefix("10.20.0.1/16")
+	cToT.Subnet = subT
+
+	// Physical links. The B-C link carries the firewall waypoint.
+	n.AddLink(aToB, bToA)
+	bc := n.AddLink(bToC, cToB)
+	bc.Waypoint = true
+	n.AddLink(aToC, cToA)
+
+	// ACL on B's interface toward A blocking traffic destined for U.
+	acl := b.AddACL("BLOCK-U")
+	acl.Entries = []ACLEntry{
+		{Permit: false, Dst: subU.Prefix},
+		{Permit: true},
+	}
+	bToA.InACL = "BLOCK-U"
+
+	// OSPF processes. Router C's interface toward A is passive (Figure 1
+	// line 13), so no OSPF adjacency forms on the A-C link.
+	pa := a.AddProcess(OSPF, 10)
+	pa.Interfaces = []*Interface{aToB, aToC, aToR, aToS}
+	pa.Passive = map[string]bool{aToR.Name: true, aToS.Name: true}
+	pa.RedistributeConnected = true
+
+	pb := b.AddProcess(OSPF, 10)
+	pb.Interfaces = []*Interface{bToA, bToC, bToU}
+	pb.Passive = map[string]bool{bToU.Name: true}
+	pb.RedistributeConnected = true
+
+	pc := c.AddProcess(OSPF, 10)
+	pc.Interfaces = []*Interface{cToA, cToB, cToT}
+	pc.Passive = map[string]bool{cToA.Name: true, cToT.Name: true}
+	pc.RedistributeConnected = true
+
+	return n
+}

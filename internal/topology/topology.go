@@ -1,0 +1,420 @@
+// Package topology models the semantic view of a network that the CPR
+// pipeline operates on: devices, interfaces, physical links, subnets,
+// routing processes, static routes, ACLs, route filters, and waypoints.
+//
+// A Network is typically produced by parsing router configurations
+// (internal/config) but can also be constructed directly, e.g. by the
+// workload generators.
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Protocol identifies a routing protocol. ARC models RIP, OSPF and eBGP
+// (paper §9); Static is the pseudo-protocol for static routes.
+type Protocol int
+
+// Supported protocols.
+const (
+	OSPF Protocol = iota
+	BGP
+	RIP
+	Static
+)
+
+// String returns the lowercase protocol name as used in configurations.
+func (p Protocol) String() string {
+	switch p {
+	case OSPF:
+		return "ospf"
+	case BGP:
+		return "bgp"
+	case RIP:
+		return "rip"
+	case Static:
+		return "static"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// Network is the semantic model of a network: the input to HARC
+// construction.
+type Network struct {
+	devices map[string]*Device
+	order   []string // deterministic device iteration order
+	Subnets []*Subnet
+	Links   []*Link
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{devices: make(map[string]*Device)}
+}
+
+// AddDevice creates (or returns the existing) device with the given name.
+func (n *Network) AddDevice(name string) *Device {
+	if d, ok := n.devices[name]; ok {
+		return d
+	}
+	d := &Device{
+		Name:       name,
+		interfaces: make(map[string]*Interface),
+		ACLs:       make(map[string]*ACL),
+	}
+	n.devices[name] = d
+	n.order = append(n.order, name)
+	return d
+}
+
+// Device returns the device with the given name, or nil.
+func (n *Network) Device(name string) *Device { return n.devices[name] }
+
+// Devices returns devices in insertion order.
+func (n *Network) Devices() []*Device {
+	out := make([]*Device, 0, len(n.order))
+	for _, name := range n.order {
+		out = append(out, n.devices[name])
+	}
+	return out
+}
+
+// NumDevices returns the number of devices.
+func (n *Network) NumDevices() int { return len(n.order) }
+
+// AddSubnet registers a destination/source subnet.
+func (n *Network) AddSubnet(name string, prefix netip.Prefix) *Subnet {
+	s := &Subnet{Name: name, Prefix: prefix}
+	n.Subnets = append(n.Subnets, s)
+	return s
+}
+
+// Subnet returns the subnet with the given name, or nil.
+func (n *Network) Subnet(name string) *Subnet {
+	for _, s := range n.Subnets {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// SubnetByPrefix returns the subnet with the given prefix, or nil.
+func (n *Network) SubnetByPrefix(p netip.Prefix) *Subnet {
+	for _, s := range n.Subnets {
+		if s.Prefix == p {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddLink connects two device interfaces with a physical link.
+func (n *Network) AddLink(a, b *Interface) *Link {
+	l := &Link{A: a, B: b}
+	a.Link = l
+	b.Link = l
+	n.Links = append(n.Links, l)
+	return l
+}
+
+// Link returns the physical link between devices a and b (any interfaces),
+// or nil.
+func (n *Network) Link(a, b string) *Link {
+	for _, l := range n.Links {
+		da, db := l.A.Device.Name, l.B.Device.Name
+		if (da == a && db == b) || (da == b && db == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// TrafficClasses enumerates all ordered (src, dst) subnet pairs, the unit
+// of policy in CPR.
+func (n *Network) TrafficClasses() []TrafficClass {
+	var tcs []TrafficClass
+	for _, src := range n.Subnets {
+		for _, dst := range n.Subnets {
+			if src != dst {
+				tcs = append(tcs, TrafficClass{Src: src, Dst: dst})
+			}
+		}
+	}
+	return tcs
+}
+
+// Validate checks structural invariants: every interface belongs to a
+// device, every link has two ends on distinct devices, every process
+// references interfaces on its own device, and referenced ACLs exist.
+func (n *Network) Validate() error {
+	for _, d := range n.Devices() {
+		for _, intf := range d.Interfaces() {
+			if intf.Device != d {
+				return fmt.Errorf("topology: interface %s/%s has wrong device back-pointer", d.Name, intf.Name)
+			}
+			if intf.InACL != "" && d.ACLs[intf.InACL] == nil {
+				return fmt.Errorf("topology: %s/%s references missing ACL %q", d.Name, intf.Name, intf.InACL)
+			}
+			if intf.OutACL != "" && d.ACLs[intf.OutACL] == nil {
+				return fmt.Errorf("topology: %s/%s references missing ACL %q", d.Name, intf.Name, intf.OutACL)
+			}
+		}
+		for _, p := range d.Processes {
+			if p.Device != d {
+				return fmt.Errorf("topology: process %s on %s has wrong device back-pointer", p.Name(), d.Name)
+			}
+			for _, intf := range p.Interfaces {
+				if intf.Device != d {
+					return fmt.Errorf("topology: process %s uses foreign interface %s/%s", p.Name(), intf.Device.Name, intf.Name)
+				}
+			}
+		}
+	}
+	for _, l := range n.Links {
+		if l.A == nil || l.B == nil {
+			return fmt.Errorf("topology: link with missing endpoint")
+		}
+		if l.A.Device == l.B.Device {
+			return fmt.Errorf("topology: self-link on device %s", l.A.Device.Name)
+		}
+	}
+	return nil
+}
+
+// Device is a router.
+type Device struct {
+	Name       string
+	interfaces map[string]*Interface
+	intfOrder  []string
+	Processes  []*Process
+	Statics    []*StaticRoute
+	ACLs       map[string]*ACL
+	aclOrder   []string
+	// Waypoint marks a middlebox (e.g. firewall) attached to the device
+	// that shunts all transit traffic, making every intra-device edge a
+	// waypoint edge.
+	Waypoint bool
+}
+
+// AddInterface creates (or returns the existing) interface on d.
+func (d *Device) AddInterface(name string) *Interface {
+	if i, ok := d.interfaces[name]; ok {
+		return i
+	}
+	i := &Interface{Name: name, Device: d, Cost: 1}
+	d.interfaces[name] = i
+	d.intfOrder = append(d.intfOrder, name)
+	return i
+}
+
+// Interface returns the named interface, or nil.
+func (d *Device) Interface(name string) *Interface { return d.interfaces[name] }
+
+// Interfaces returns interfaces in insertion order.
+func (d *Device) Interfaces() []*Interface {
+	out := make([]*Interface, 0, len(d.intfOrder))
+	for _, name := range d.intfOrder {
+		out = append(out, d.interfaces[name])
+	}
+	return out
+}
+
+// AddProcess creates a routing process of the given protocol and id on d.
+func (d *Device) AddProcess(proto Protocol, id int) *Process {
+	p := &Process{Device: d, Proto: proto, ID: id}
+	d.Processes = append(d.Processes, p)
+	return p
+}
+
+// Process returns the process with the given protocol and id, or nil.
+func (d *Device) Process(proto Protocol, id int) *Process {
+	for _, p := range d.Processes {
+		if p.Proto == proto && p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// AddACL creates (or returns the existing) ACL with the given name.
+func (d *Device) AddACL(name string) *ACL {
+	if a, ok := d.ACLs[name]; ok {
+		return a
+	}
+	a := &ACL{Name: name}
+	d.ACLs[name] = a
+	d.aclOrder = append(d.aclOrder, name)
+	return a
+}
+
+// ACLNames returns ACL names in insertion order.
+func (d *Device) ACLNames() []string { return append([]string(nil), d.aclOrder...) }
+
+// AddStatic appends a static route to the device.
+func (d *Device) AddStatic(prefix netip.Prefix, nextHop netip.Addr, distance int) *StaticRoute {
+	s := &StaticRoute{Prefix: prefix, NextHop: nextHop, Distance: distance}
+	d.Statics = append(d.Statics, s)
+	return s
+}
+
+// Interface is a physical interface on a device. An interface is attached
+// either to a point-to-point Link (another device) or to a Subnet (hosts).
+type Interface struct {
+	Name   string
+	Device *Device
+	Prefix netip.Prefix // interface address/prefix
+	Cost   int          // routing cost of the attached link (e.g. OSPF cost)
+	InACL  string       // ACL applied to traffic entering via this interface
+	OutACL string       // ACL applied to traffic exiting via this interface
+	Link   *Link        // non-nil if device-to-device
+	Subnet *Subnet      // non-nil if host-facing
+}
+
+// Peer returns the interface at the other end of the attached link, or nil.
+func (i *Interface) Peer() *Interface {
+	if i.Link == nil {
+		return nil
+	}
+	if i.Link.A == i {
+		return i.Link.B
+	}
+	return i.Link.A
+}
+
+// Link is a physical point-to-point link between two device interfaces.
+type Link struct {
+	A, B *Interface
+	// Waypoint marks an on-path middlebox (e.g. firewall) on this link.
+	Waypoint bool
+}
+
+// Name returns a canonical "devA-devB" name with endpoints sorted.
+func (l *Link) Name() string {
+	a, b := l.A.Device.Name, l.B.Device.Name
+	if a > b {
+		a, b = b, a
+	}
+	return a + "-" + b
+}
+
+// Subnet is a source/destination host subnet.
+type Subnet struct {
+	Name   string
+	Prefix netip.Prefix
+}
+
+// TrafficClass is an ordered (source subnet, destination subnet) pair.
+type TrafficClass struct {
+	Src *Subnet
+	Dst *Subnet
+}
+
+// String renders the class as "S->T".
+func (tc TrafficClass) String() string { return tc.Src.Name + "->" + tc.Dst.Name }
+
+// Key returns a stable map key for the class.
+func (tc TrafficClass) Key() string { return tc.Src.Name + "\x00" + tc.Dst.Name }
+
+// Process is a routing protocol instance configured on a device.
+type Process struct {
+	Device *Device
+	Proto  Protocol
+	ID     int
+	// Interfaces the process runs over (forms adjacencies on, unless
+	// passive).
+	Interfaces []*Interface
+	// Passive interfaces participate in the process (their prefixes are
+	// advertised) but form no adjacency.
+	Passive map[string]bool
+	// RouteFilters lists destination prefixes whose routes this process
+	// blocks (will not use or propagate).
+	RouteFilters []netip.Prefix
+	// RedistributesFrom lists sibling processes whose routes this process
+	// redistributes.
+	RedistributesFrom []*Process
+	// RedistributeConnected makes the process originate routes for the
+	// device's directly connected subnets.
+	RedistributeConnected bool
+}
+
+// Name returns "device:proto id".
+func (p *Process) Name() string { return fmt.Sprintf("%s:%s%d", p.Device.Name, p.Proto, p.ID) }
+
+// UsesInterface reports whether the process runs over intf.
+func (p *Process) UsesInterface(intf *Interface) bool {
+	for _, i := range p.Interfaces {
+		if i == intf {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPassive reports whether intf is configured passive for this process.
+func (p *Process) IsPassive(intf *Interface) bool { return p.Passive[intf.Name] }
+
+// BlocksDestination reports whether a route filter on this process blocks
+// routes to the given destination prefix.
+func (p *Process) BlocksDestination(dst netip.Prefix) bool {
+	for _, f := range p.RouteFilters {
+		if f == dst || f.Contains(dst.Addr()) && f.Bits() <= dst.Bits() {
+			return true
+		}
+	}
+	return false
+}
+
+// StaticRoute directs traffic for Prefix to NextHop with the given
+// administrative distance (lower wins against other protocols).
+type StaticRoute struct {
+	Prefix   netip.Prefix
+	NextHop  netip.Addr
+	Distance int
+}
+
+// ACL is an ordered list of permit/deny entries evaluated first-match.
+// Traffic matching no entry is denied (standard IOS semantics), unless the
+// ACL is empty, in which case it permits everything (an unreferenced or
+// empty ACL is treated as absent).
+type ACL struct {
+	Name    string
+	Entries []ACLEntry
+}
+
+// ACLEntry matches traffic by source and destination prefix.
+type ACLEntry struct {
+	Permit bool
+	Src    netip.Prefix // zero value matches any
+	Dst    netip.Prefix // zero value matches any
+}
+
+// matches reports whether the entry matches the (src, dst) pair.
+func (e ACLEntry) matches(src, dst netip.Prefix) bool {
+	srcOK := !e.Src.IsValid() || (e.Src.Contains(src.Addr()) && e.Src.Bits() <= src.Bits())
+	dstOK := !e.Dst.IsValid() || (e.Dst.Contains(dst.Addr()) && e.Dst.Bits() <= dst.Bits())
+	return srcOK && dstOK
+}
+
+// Blocks reports whether the ACL denies the traffic class (src, dst).
+func (a *ACL) Blocks(src, dst netip.Prefix) bool {
+	if a == nil || len(a.Entries) == 0 {
+		return false
+	}
+	for _, e := range a.Entries {
+		if e.matches(src, dst) {
+			return !e.Permit
+		}
+	}
+	return true // implicit deny
+}
+
+// SortedDeviceNames returns device names sorted lexicographically; useful
+// for deterministic output.
+func (n *Network) SortedDeviceNames() []string {
+	names := append([]string(nil), n.order...)
+	sort.Strings(names)
+	return names
+}

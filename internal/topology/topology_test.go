@@ -1,0 +1,258 @@
+package topology
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestAddDeviceIdempotent(t *testing.T) {
+	n := NewNetwork()
+	d1 := n.AddDevice("r1")
+	d2 := n.AddDevice("r1")
+	if d1 != d2 {
+		t.Fatal("AddDevice should return the existing device")
+	}
+	if n.NumDevices() != 1 {
+		t.Fatalf("NumDevices = %d, want 1", n.NumDevices())
+	}
+}
+
+func TestDeviceOrderDeterministic(t *testing.T) {
+	n := NewNetwork()
+	n.AddDevice("charlie")
+	n.AddDevice("alpha")
+	n.AddDevice("bravo")
+	devs := n.Devices()
+	want := []string{"charlie", "alpha", "bravo"}
+	for i, d := range devs {
+		if d.Name != want[i] {
+			t.Errorf("Devices()[%d] = %s, want %s", i, d.Name, want[i])
+		}
+	}
+	sorted := n.SortedDeviceNames()
+	wantSorted := []string{"alpha", "bravo", "charlie"}
+	for i, name := range sorted {
+		if name != wantSorted[i] {
+			t.Errorf("SortedDeviceNames()[%d] = %s, want %s", i, name, wantSorted[i])
+		}
+	}
+}
+
+func TestInterfacePeer(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddDevice("a").AddInterface("e0")
+	b := n.AddDevice("b").AddInterface("e0")
+	l := n.AddLink(a, b)
+	if a.Peer() != b || b.Peer() != a {
+		t.Error("Peer lookup wrong")
+	}
+	if l.Name() != "a-b" {
+		t.Errorf("link name %q, want a-b", l.Name())
+	}
+	solo := n.AddDevice("c").AddInterface("e0")
+	if solo.Peer() != nil {
+		t.Error("unlinked interface should have nil peer")
+	}
+}
+
+func TestLinkLookup(t *testing.T) {
+	n := Figure2a()
+	if n.Link("A", "B") == nil || n.Link("B", "A") == nil {
+		t.Error("A-B link should be found in both directions")
+	}
+	if n.Link("A", "Z") != nil {
+		t.Error("nonexistent link should be nil")
+	}
+}
+
+func TestTrafficClassEnumeration(t *testing.T) {
+	n := Figure2a()
+	tcs := n.TrafficClasses()
+	// 4 subnets -> 12 ordered pairs.
+	if len(tcs) != 12 {
+		t.Fatalf("got %d traffic classes, want 12", len(tcs))
+	}
+	seen := map[string]bool{}
+	for _, tc := range tcs {
+		if tc.Src == tc.Dst {
+			t.Errorf("self traffic class %s", tc)
+		}
+		if seen[tc.Key()] {
+			t.Errorf("duplicate traffic class %s", tc)
+		}
+		seen[tc.Key()] = true
+	}
+}
+
+func TestACLFirstMatchSemantics(t *testing.T) {
+	u := netip.MustParsePrefix("10.40.0.0/16")
+	s := netip.MustParsePrefix("10.30.0.0/16")
+	acl := &ACL{Name: "t", Entries: []ACLEntry{
+		{Permit: false, Dst: u},
+		{Permit: true},
+	}}
+	if !acl.Blocks(s, u) {
+		t.Error("ACL should block traffic destined for U")
+	}
+	if acl.Blocks(s, netip.MustParsePrefix("10.20.0.0/16")) {
+		t.Error("ACL should permit other destinations")
+	}
+}
+
+func TestACLImplicitDeny(t *testing.T) {
+	s := netip.MustParsePrefix("10.30.0.0/16")
+	tt := netip.MustParsePrefix("10.20.0.0/16")
+	acl := &ACL{Name: "t", Entries: []ACLEntry{
+		{Permit: true, Dst: tt},
+	}}
+	if acl.Blocks(s, tt) {
+		t.Error("explicitly permitted traffic should pass")
+	}
+	if !acl.Blocks(s, netip.MustParsePrefix("10.40.0.0/16")) {
+		t.Error("unmatched traffic should hit the implicit deny")
+	}
+}
+
+func TestACLEmptyPermitsAll(t *testing.T) {
+	var acl *ACL
+	s := netip.MustParsePrefix("10.30.0.0/16")
+	d := netip.MustParsePrefix("10.20.0.0/16")
+	if acl.Blocks(s, d) {
+		t.Error("nil ACL should not block")
+	}
+	empty := &ACL{Name: "e"}
+	if empty.Blocks(s, d) {
+		t.Error("empty ACL should not block")
+	}
+}
+
+func TestACLSourceMatching(t *testing.T) {
+	s := netip.MustParsePrefix("10.30.0.0/16")
+	r := netip.MustParsePrefix("10.10.0.0/16")
+	d := netip.MustParsePrefix("10.20.0.0/16")
+	acl := &ACL{Name: "t", Entries: []ACLEntry{
+		{Permit: false, Src: s, Dst: d},
+		{Permit: true},
+	}}
+	if !acl.Blocks(s, d) {
+		t.Error("S->D should be blocked")
+	}
+	if acl.Blocks(r, d) {
+		t.Error("R->D should be permitted")
+	}
+}
+
+func TestProcessBlocksDestination(t *testing.T) {
+	n := NewNetwork()
+	d := n.AddDevice("r")
+	p := d.AddProcess(OSPF, 1)
+	tt := netip.MustParsePrefix("10.20.0.0/16")
+	p.RouteFilters = append(p.RouteFilters, tt)
+	if !p.BlocksDestination(tt) {
+		t.Error("exact-prefix filter should block")
+	}
+	if p.BlocksDestination(netip.MustParsePrefix("10.40.0.0/16")) {
+		t.Error("other destinations should pass")
+	}
+	// A covering filter blocks more-specific destinations.
+	p2 := d.AddProcess(OSPF, 2)
+	p2.RouteFilters = append(p2.RouteFilters, netip.MustParsePrefix("10.0.0.0/8"))
+	if !p2.BlocksDestination(tt) {
+		t.Error("covering filter should block contained prefix")
+	}
+}
+
+func TestProcessLookupAndNames(t *testing.T) {
+	n := NewNetwork()
+	d := n.AddDevice("r")
+	p := d.AddProcess(OSPF, 10)
+	if d.Process(OSPF, 10) != p {
+		t.Error("Process lookup failed")
+	}
+	if d.Process(BGP, 10) != nil {
+		t.Error("missing process should be nil")
+	}
+	if p.Name() != "r:ospf10" {
+		t.Errorf("process name %q", p.Name())
+	}
+	if OSPF.String() != "ospf" || BGP.String() != "bgp" || RIP.String() != "rip" || Static.String() != "static" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestFigure2aShape(t *testing.T) {
+	n := Figure2a()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if n.NumDevices() != 3 {
+		t.Fatalf("devices = %d, want 3", n.NumDevices())
+	}
+	if len(n.Subnets) != 4 {
+		t.Fatalf("subnets = %d, want 4", len(n.Subnets))
+	}
+	if len(n.Links) != 3 {
+		t.Fatalf("links = %d, want 3", len(n.Links))
+	}
+	if !n.Link("B", "C").Waypoint {
+		t.Error("B-C link should carry the firewall waypoint")
+	}
+	if n.Link("A", "B").Waypoint || n.Link("A", "C").Waypoint {
+		t.Error("only B-C should carry a waypoint")
+	}
+	// C's interface toward A must be passive (Figure 1 line 13).
+	c := n.Device("C")
+	pc := c.Process(OSPF, 10)
+	if !pc.IsPassive(c.Interface("Ethernet0/1")) {
+		t.Error("C Ethernet0/1 should be passive")
+	}
+	if pc.IsPassive(c.Interface("Ethernet0/2")) {
+		t.Error("C Ethernet0/2 should not be passive")
+	}
+	// B blocks traffic destined for U on its interface from A.
+	b := n.Device("B")
+	acl := b.ACLs[b.Interface("Ethernet0/1").InACL]
+	if acl == nil {
+		t.Fatal("B should have an inbound ACL toward A")
+	}
+	u := n.Subnet("U")
+	s := n.Subnet("S")
+	if !acl.Blocks(s.Prefix, u.Prefix) {
+		t.Error("ACL should block S->U")
+	}
+}
+
+func TestValidateCatchesMissingACL(t *testing.T) {
+	n := NewNetwork()
+	d := n.AddDevice("r")
+	i := d.AddInterface("e0")
+	i.InACL = "NOPE"
+	if err := n.Validate(); err == nil {
+		t.Error("Validate should flag missing ACL reference")
+	}
+}
+
+func TestValidateCatchesSelfLink(t *testing.T) {
+	n := NewNetwork()
+	d := n.AddDevice("r")
+	i1 := d.AddInterface("e0")
+	i2 := d.AddInterface("e1")
+	n.AddLink(i1, i2)
+	if err := n.Validate(); err == nil {
+		t.Error("Validate should flag self-link")
+	}
+}
+
+func TestSubnetLookups(t *testing.T) {
+	n := Figure2a()
+	if n.Subnet("T") == nil {
+		t.Error("Subnet(T) missing")
+	}
+	if n.Subnet("Z") != nil {
+		t.Error("Subnet(Z) should be nil")
+	}
+	p := netip.MustParsePrefix("10.20.0.0/16")
+	if n.SubnetByPrefix(p) == nil || n.SubnetByPrefix(p).Name != "T" {
+		t.Error("SubnetByPrefix(T) failed")
+	}
+}
