@@ -3,13 +3,18 @@
 // micro-benchmarks of the substrates. Each figure benchmark runs its
 // experiment at a reduced-but-representative scale; cmd/cpreval runs the
 // same experiments at the paper's full dimensions.
-package cpr
+package cpr_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
+	cpr "repro"
 	"repro/internal/arc"
 	"repro/internal/config"
 	"repro/internal/core"
@@ -18,6 +23,7 @@ import (
 	"repro/internal/greedy"
 	"repro/internal/harc"
 	"repro/internal/policy"
+	"repro/internal/server"
 	"repro/internal/smt/maxsat"
 	"repro/internal/smt/sat"
 	"repro/internal/topology"
@@ -81,7 +87,7 @@ func BenchmarkTable2RepairEncodingFig2a(b *testing.B) {
 }
 
 func BenchmarkTable3TranslateFig2a(b *testing.B) {
-	sys, err := Load(config.Figure2aConfigs())
+	sys, err := cpr.Load(config.Figure2aConfigs())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -303,11 +309,68 @@ func BenchmarkSubstrateVerifyAllPolicies(b *testing.B) {
 	}
 }
 
+// --- cprd daemon benchmarks ---
+
+// BenchmarkServerRepairWarm measures a repair against an already-loaded
+// session: after the single cold load, every iteration goes straight to
+// the solver — no config parsing, no HARC build. Compare with
+// BenchmarkEndToEndPublicAPI, which pays Load on every iteration. The
+// final statsz assertion proves the warm path never rebuilt.
+func BenchmarkServerRepairWarm(b *testing.B) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path string, body, out any) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("%s status = %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var lr server.LoadResponse
+	post("/v1/load", server.LoadRequest{Configs: config.Figure2aConfigs()}, &lr)
+	const spec = "always-blocked S U\nalways-waypoint S T\nreachable S T 2\nprimary-path R T A,B,C\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rr server.RepairResponse
+		post("/v1/repair", server.RepairRequest{Session: lr.Session, Policies: spec}, &rr)
+		if !rr.Solved {
+			b.Fatal("repair unsolved")
+		}
+	}
+	b.StopTimer()
+
+	var sz server.Statsz
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
+		b.Fatal(err)
+	}
+	if sz.Cache.Builds != 1 {
+		b.Fatalf("builds = %d, want 1 (warm repairs must skip parse/build)", sz.Cache.Builds)
+	}
+}
+
 // Sanity: the bench configuration still produces a verifiable repair.
 func BenchmarkEndToEndPublicAPI(b *testing.B) {
 	texts := config.Figure2aConfigs()
 	for i := 0; i < b.N; i++ {
-		sys, err := Load(texts)
+		sys, err := cpr.Load(texts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -315,7 +378,7 @@ func BenchmarkEndToEndPublicAPI(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep, err := sys.Repair(spec, DefaultOptions())
+		rep, err := sys.Repair(spec, cpr.DefaultOptions())
 		if err != nil || !rep.Solved() {
 			b.Fatal("repair failed")
 		}

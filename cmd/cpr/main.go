@@ -13,16 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	cpr "repro"
 	"repro/internal/core"
 	"repro/internal/policy"
-	"repro/internal/smt/maxsat"
 )
 
 func main() {
@@ -33,21 +34,32 @@ func main() {
 		verifyOnly = flag.Bool("verify", false, "verify only; do not repair")
 		granFlag   = flag.String("granularity", "per-dst", "MaxSMT granularity: per-dst or all-tcs")
 		algoFlag   = flag.String("algorithm", "linear", "MaxSAT algorithm: linear or fu-malik")
+		objFlag    = flag.String("objective", "min-lines", "minimality objective: min-lines or min-devices")
 		parallel   = flag.Int("parallel", 1, "parallel per-destination solves")
 		budget     = flag.Int64("budget", 0, "SAT conflict budget per problem (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "repair deadline (0 = none); exceeding it cancels the solve")
 	)
 	flag.Parse()
 	if *configDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configDir, *policyFile, *outDir, *verifyOnly, *granFlag, *algoFlag, *parallel, *budget); err != nil {
+	// The same option surface as one cprd repair request (OptionFlags is
+	// shared with the daemon's JSON body).
+	optFlags := cpr.OptionFlags{
+		Granularity:    *granFlag,
+		Algorithm:      *algoFlag,
+		Objective:      *objFlag,
+		Parallelism:    *parallel,
+		ConflictBudget: *budget,
+	}
+	if err := run(*configDir, *policyFile, *outDir, *verifyOnly, optFlags, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "cpr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configDir, policyFile, outDir string, verifyOnly bool, granFlag, algoFlag string, parallel int, budget int64) error {
+func run(configDir, policyFile, outDir string, verifyOnly bool, optFlags cpr.OptionFlags, timeout time.Duration) error {
 	texts, err := readConfigs(configDir)
 	if err != nil {
 		return err
@@ -82,27 +94,18 @@ func run(configDir, policyFile, outDir string, verifyOnly bool, granFlag, algoFl
 		return nil
 	}
 
-	opts := cpr.DefaultOptions()
-	switch granFlag {
-	case "per-dst":
-		opts.Granularity = cpr.PerDst
-	case "all-tcs":
-		opts.Granularity = cpr.AllTCs
-	default:
-		return fmt.Errorf("unknown granularity %q", granFlag)
+	opts, err := optFlags.Resolve()
+	if err != nil {
+		return err
 	}
-	switch algoFlag {
-	case "linear":
-		opts.Algorithm = maxsat.LinearDescent
-	case "fu-malik":
-		opts.Algorithm = maxsat.FuMalik
-	default:
-		return fmt.Errorf("unknown algorithm %q", algoFlag)
-	}
-	opts.Parallelism = parallel
-	opts.ConflictBudget = budget
 
-	rep, err := sys.Repair(policies, opts)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rep, err := sys.RepairCtx(ctx, policies, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,94 @@
+// Command cprd is the control-plane-repair daemon: a long-running HTTP
+// service that parses configuration sets once into a content-addressed
+// session cache and answers verify/explain/repair queries against the
+// cached model, under per-request deadlines and bounded concurrency.
+//
+// Usage:
+//
+//	cprd [-listen :8080] [-sessions 64] [-workers N] [-queue N] [-timeout 5m]
+//
+// Endpoints (see the README section "Running cprd" for JSON shapes):
+//
+//	POST /v1/load     parse configs → cached session (content hash)
+//	POST /v1/verify   violated policies of a cached session
+//	POST /v1/explain  counterexamples for violated policies
+//	POST /v1/repair   minimal repair (worker pool; 429 when saturated)
+//	GET  /healthz     liveness
+//	GET  /statsz      cache/solver/latency statistics
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to the -drain period before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		sessions = flag.Int("sessions", 64, "session cache capacity (LRU)")
+		workers  = flag.Int("workers", 0, "concurrent repair solves (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "queued repairs beyond running ones before 429 (0 = 2×workers)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
+		maxTO    = flag.Duration("max-timeout", 30*time.Minute, "cap on client-requested deadlines")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain period")
+	)
+	flag.Parse()
+	if err := run(*listen, *sessions, *workers, *queue, *timeout, *maxTO, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "cprd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, sessions, workers, queue int, timeout, maxTO, drain time.Duration) error {
+	srv := server.New(server.Config{
+		MaxSessions:    sessions,
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTO,
+	})
+	httpSrv := &http.Server{
+		Addr:              listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cprd listening on %s", listen)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("cprd draining (up to %v)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("cprd stopped")
+	return nil
+}

@@ -20,6 +20,7 @@
 package cpr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,6 +63,12 @@ const (
 	PerDst = core.PerDst
 )
 
+// Minimality objectives (§5.2).
+const (
+	MinLines   = core.MinLines
+	MinDevices = core.MinDevices
+)
+
 // DefaultOptions returns the paper's default configuration
 // (maxsmt-per-dst, exact linear MaxSAT).
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -84,12 +91,17 @@ func Load(configs map[string]string) (*System, error) {
 	sort.Strings(keys)
 	var parsed []*config.Config
 	byHost := make(map[string]*config.Config, len(configs))
+	labelOf := make(map[string]string, len(configs))
 	for _, k := range keys {
 		c, err := config.Parse(k, configs[k])
 		if err != nil {
 			return nil, err
 		}
 		parsed = append(parsed, c)
+		if prev, ok := labelOf[c.Hostname]; ok {
+			return nil, fmt.Errorf("cpr: duplicate hostname %q (configs %q and %q)", c.Hostname, prev, k)
+		}
+		labelOf[c.Hostname] = k
 		byHost[c.Hostname] = c
 	}
 	n, err := config.Extract(parsed)
@@ -117,6 +129,23 @@ func (s *System) Verify(policies []Policy) []Policy {
 	return policy.Violations(s.HARC, policies)
 }
 
+// VerifyCtx is Verify under a context: the policy sweep stops at the
+// first cancelled check and returns ctx's error. Verification of one
+// policy is graph work (no solver), so cancellation granularity is one
+// policy.
+func (s *System) VerifyCtx(ctx context.Context, policies []Policy) ([]Policy, error) {
+	var violated []Policy
+	for _, p := range policies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !policy.Check(s.HARC, p) {
+			violated = append(violated, p)
+		}
+	}
+	return violated, nil
+}
+
 // Explain returns one human-readable counterexample line per violated
 // policy: the offending path, the disconnecting failure scenario, or the
 // shortcut taken instead of the primary path.
@@ -128,7 +157,14 @@ func (s *System) Explain(policies []Policy) []string {
 // translates it to configuration patches. The receiver is not modified;
 // patched configuration texts are returned in RepairOutput.
 func (s *System) Repair(policies []Policy, opts Options) (*RepairOutput, error) {
-	res, err := core.Repair(s.HARC, policies, opts)
+	return s.RepairCtx(context.Background(), policies, opts)
+}
+
+// RepairCtx is Repair under a context. Cancellation propagates into the
+// CDCL solver's search loop, so a timed-out or abandoned repair stops
+// consuming CPU promptly and RepairCtx returns ctx's error.
+func (s *System) RepairCtx(ctx context.Context, policies []Policy, opts Options) (*RepairOutput, error) {
+	res, err := core.RepairCtx(ctx, s.HARC, policies, opts)
 	if err != nil {
 		return nil, err
 	}

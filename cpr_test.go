@@ -1,6 +1,8 @@
 package cpr
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -22,6 +24,68 @@ always-waypoint S T
 reachable S T 2
 primary-path R T A,B,C
 `
+
+// TestLoadRejectsDuplicateHostname pins the fix for the silent
+// last-writer-wins overwrite when two configs declare the same hostname:
+// Load must fail loudly, naming the hostname and both config labels.
+func TestLoadRejectsDuplicateHostname(t *testing.T) {
+	texts := config.Figure2aConfigs()
+	var first string
+	for name := range texts {
+		first = name
+		break
+	}
+	texts["zz-copy"] = texts[first]
+	_, err := Load(texts)
+	if err == nil {
+		t.Fatal("Load accepted two configs with the same hostname")
+	}
+	if !strings.Contains(err.Error(), "duplicate hostname") || !strings.Contains(err.Error(), "zz-copy") {
+		t.Errorf("err = %v, want a duplicate-hostname error naming the configs", err)
+	}
+}
+
+func TestVerifyCtxAndRepairCtxCancelled(t *testing.T) {
+	sys := loadFigure2a(t)
+	policies, err := sys.ParsePolicies(figure2aSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.VerifyCtx(ctx, policies); !errors.Is(err, context.Canceled) {
+		t.Errorf("VerifyCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := sys.RepairCtx(ctx, policies, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RepairCtx err = %v, want context.Canceled", err)
+	}
+	// An un-cancelled context behaves like the plain methods.
+	violated, err := sys.VerifyCtx(context.Background(), policies)
+	if err != nil || len(violated) != 1 {
+		t.Errorf("VerifyCtx = %v, %v; want 1 violated", violated, err)
+	}
+}
+
+func TestOptionFlagsResolve(t *testing.T) {
+	opts, err := OptionFlags{}.Resolve()
+	if err != nil || opts != DefaultOptions() {
+		t.Errorf("zero flags = %+v, %v; want defaults", opts, err)
+	}
+	opts, err = OptionFlags{Granularity: "all-tcs", Algorithm: "fu-malik", Objective: "min-devices", Parallelism: 4, ConflictBudget: 100}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Granularity != AllTCs || opts.Objective != MinDevices || opts.Parallelism != 4 || opts.ConflictBudget != 100 {
+		t.Errorf("resolved = %+v", opts)
+	}
+	for _, bad := range []OptionFlags{
+		{Granularity: "x"}, {Algorithm: "x"}, {Objective: "x"}, {ConflictBudget: -1},
+	} {
+		if _, err := bad.Resolve(); err == nil {
+			t.Errorf("flags %+v resolved without error", bad)
+		}
+	}
+}
 
 func TestLoadAndVerify(t *testing.T) {
 	sys := loadFigure2a(t)

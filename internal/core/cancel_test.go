@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/generate"
+	"repro/internal/harc"
+	"repro/internal/topology"
+)
+
+func TestRepairCtxPreCancelled(t *testing.T) {
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RepairCtx(ctx, h, figure2aPolicies(n), DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRepairCtxDeadlineReachesSolver runs an all-tcs repair that
+// normally takes seconds under a 50ms deadline: cancellation must
+// propagate through the MaxSAT driver into the CDCL search loop (and the
+// encoder's policy loop) so RepairCtx returns well under a second.
+func TestRepairCtxDeadlineReachesSolver(t *testing.T) {
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name: "slow", Routers: 20, Subnets: 15, BlockedFrac: 0.3,
+		FullyBlockedDsts: 1, Violations: 8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Granularity = AllTCs
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, rerr := RepairCtx(ctx, inst.Harc(), inst.Policies, opts)
+	elapsed := time.Since(t0)
+	if !errors.Is(rerr, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", rerr)
+	}
+	if elapsed >= time.Second {
+		t.Fatalf("cancelled repair took %v, want well under 1s", elapsed)
+	}
+}

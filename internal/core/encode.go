@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -252,12 +253,24 @@ func (e *encoder) finalizeSofts() {
 }
 
 // encode builds the full constraint system.
-func (e *encoder) encode() error {
+// encode builds the MaxSMT problem. Encoding large problems takes as
+// long as solving them, so it polls ctx between policies — the loop
+// dominates encoding time — and cancellation surfaces as ctx's error.
+func (e *encoder) encode(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e.hierarchyConstraints()
 	for _, p := range e.policies {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := e.policyConstraints(p); err != nil {
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	e.softConstraints()
 	e.seedPhases()
@@ -864,8 +877,8 @@ func (e *encoder) softConstraints() {
 }
 
 // solve runs MaxSAT and returns the violated-soft count.
-func (e *encoder) solve() (int, sat.Status) {
-	res := maxsat.SolveWeighted(e.s, e.softs, e.weights, e.opts.Algorithm)
+func (e *encoder) solve(ctx context.Context) (int, sat.Status) {
+	res := maxsat.SolveWeightedCtx(ctx, e.s, e.softs, e.weights, e.opts.Algorithm)
 	return res.Cost, res.Status
 }
 

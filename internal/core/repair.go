@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -105,7 +106,9 @@ type ProblemStat struct {
 	Softs      int
 	Violations int // violated softs = modeled configuration changes
 	Status     sat.Status
-	Duration   time.Duration
+	// Conflicts is the SAT solver's conflict count for this sub-problem.
+	Conflicts int64
+	Duration  time.Duration
 }
 
 // Result is the outcome of a Repair call.
@@ -117,7 +120,9 @@ type Result struct {
 	Changes int
 	// Solved reports that every sub-problem found an optimal repair.
 	Solved bool
-	Stats  []ProblemStat
+	// Conflicts is the total SAT conflict count across sub-problems.
+	Conflicts int64
+	Stats     []ProblemStat
 	// Duration is the wall-clock time of the Repair call; Sequential sums
 	// the individual sub-problem durations (the paper's serial baseline).
 	Duration   time.Duration
@@ -129,6 +134,13 @@ type Result struct {
 // unsatisfiable specification yields Solved == false with per-problem
 // statuses.
 func Repair(h *harc.HARC, policies []policy.Policy, opts Options) (*Result, error) {
+	return RepairCtx(context.Background(), h, policies, opts)
+}
+
+// RepairCtx is Repair under a context. Cancelling ctx interrupts every
+// in-flight SAT solve (the CDCL search loop polls an interruption flag),
+// and RepairCtx returns ctx's error instead of a partial result.
+func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.CostBits == 0 {
 		opts.CostBits = 4
@@ -245,9 +257,12 @@ func Repair(h *harc.HARC, policies []policy.Policy, opts Options) (*Result, erro
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return // cancelled while queued; RepairCtx reports ctx.Err()
+			}
 			t0 := time.Now()
 			enc := newEncoder(h, orig, pr.tcs, pr.policies, pr.freeze, opts)
-			if err := enc.encode(); err != nil {
+			if err := enc.encode(ctx); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -255,7 +270,7 @@ func Repair(h *harc.HARC, policies []policy.Policy, opts Options) (*Result, erro
 				mu.Unlock()
 				return
 			}
-			cost, status := enc.solve()
+			cost, status := enc.solve(ctx)
 			pr.enc = enc
 			pr.stat = ProblemStat{
 				Label:      pr.label,
@@ -265,11 +280,15 @@ func Repair(h *harc.HARC, policies []policy.Policy, opts Options) (*Result, erro
 				Softs:      len(enc.softs),
 				Violations: cost,
 				Status:     status,
+				Conflicts:  enc.s.Conflicts,
 				Duration:   time.Since(t0),
 			}
 		}(pr)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -279,6 +298,7 @@ func Repair(h *harc.HARC, policies []policy.Policy, opts Options) (*Result, erro
 	for _, pr := range problems {
 		res.Stats = append(res.Stats, pr.stat)
 		res.Sequential += pr.stat.Duration
+		res.Conflicts += pr.stat.Conflicts
 		if pr.stat.Status != sat.Sat {
 			res.Solved = false
 			continue

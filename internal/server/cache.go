@@ -1,0 +1,150 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	cpr "repro"
+)
+
+// SessionKey is the content hash of a configuration set: identical
+// configurations — regardless of map-label order — map to the same
+// session, which is what makes the cache and single-flight deduplication
+// sound.
+func SessionKey(configs map[string]string) string {
+	names := make([]string, 0, len(configs))
+	for name := range configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		text := configs[name]
+		fmt.Fprintf(h, "%d:%s\x00%d:%s\x00", len(name), name, len(text), text)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// loadOutcome classifies how getOrLoad produced its system.
+type loadOutcome int
+
+const (
+	// loadBuilt means this call parsed the configs and built the HARC.
+	loadBuilt loadOutcome = iota
+	// loadHit means the session was already cached.
+	loadHit
+	// loadCoalesced means an identical load was in flight and this call
+	// waited for its result (single-flight deduplication).
+	loadCoalesced
+)
+
+// loadCall is one in-flight build that concurrent identical loads attach
+// to.
+type loadCall struct {
+	done chan struct{}
+	sys  *cpr.System
+	err  error
+}
+
+// sessionCache is an LRU cache of loaded systems keyed by SessionKey,
+// with single-flight deduplication of concurrent identical loads.
+type sessionCache struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // front = most recently used; values are *entry
+	byKey   map[string]*list.Element
+	loading map[string]*loadCall
+}
+
+type entry struct {
+	key string
+	sys *cpr.System
+}
+
+func newSessionCache(max int) *sessionCache {
+	return &sessionCache{
+		max:     max,
+		lru:     list.New(),
+		byKey:   make(map[string]*list.Element),
+		loading: make(map[string]*loadCall),
+	}
+}
+
+// get returns the cached system for key, bumping its recency.
+func (c *sessionCache) get(key string) (*cpr.System, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*entry).sys, true
+}
+
+// put inserts (or refreshes) a session, evicting the least recently used
+// entry beyond capacity.
+func (c *sessionCache) put(key string, sys *cpr.System) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, sys)
+}
+
+func (c *sessionCache) insertLocked(key string, sys *cpr.System) {
+	if e, ok := c.byKey[key]; ok {
+		e.Value.(*entry).sys = sys
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, sys: sys})
+	for c.lru.Len() > c.max {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.byKey, last.Value.(*entry).key)
+	}
+}
+
+// len returns the number of cached sessions.
+func (c *sessionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// getOrLoad returns the session for key, building it with build on a
+// miss. Concurrent calls for the same key share one build: exactly one
+// caller runs build, the rest block until it finishes and receive its
+// result (including its error — a failed build is not cached, so a later
+// load retries).
+func (c *sessionCache) getOrLoad(key string, build func() (*cpr.System, error)) (*cpr.System, loadOutcome, error) {
+	c.mu.Lock()
+	if e, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(e)
+		sys := e.Value.(*entry).sys
+		c.mu.Unlock()
+		return sys, loadHit, nil
+	}
+	if call, ok := c.loading[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.sys, loadCoalesced, call.err
+	}
+	call := &loadCall{done: make(chan struct{})}
+	c.loading[key] = call
+	c.mu.Unlock()
+
+	call.sys, call.err = build()
+
+	c.mu.Lock()
+	delete(c.loading, key)
+	if call.err == nil {
+		c.insertLocked(key, call.sys)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.sys, loadBuilt, call.err
+}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// errSaturated is returned by workerPool.do when both the running slots
+// and the admission queue are full; the HTTP layer translates it to 429.
+var errSaturated = errors.New("server: worker pool saturated")
+
+// workerPool bounds concurrent solves and the number of solves allowed
+// to wait for a slot. Admission is a non-blocking ticket acquire — work
+// beyond workers+queueDepth is shed immediately rather than accepted and
+// left to pile up, which keeps tail latency bounded under overload.
+type workerPool struct {
+	tickets chan struct{} // capacity workers+queueDepth: admitted work
+	slots   chan struct{} // capacity workers: running work
+}
+
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	return &workerPool{
+		tickets: make(chan struct{}, workers+queueDepth),
+		slots:   make(chan struct{}, workers),
+	}
+}
+
+// do runs fn on a worker slot. It returns errSaturated if the pool
+// cannot admit more work, or ctx's error if the deadline expires while
+// queued. fn runs on the caller's goroutine — do only gates entry.
+func (p *workerPool) do(ctx context.Context, fn func()) error {
+	select {
+	case p.tickets <- struct{}{}:
+	default:
+		return errSaturated
+	}
+	defer func() { <-p.tickets }()
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.slots }()
+	fn()
+	return nil
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRepairsShareOneSession hammers one cached session with
+// parallel /v1/repair (and interleaved /v1/verify) calls. Run under
+// -race, it proves the cached System/Network/HARC is read-safe to share:
+// every solve clones the HARC state and builds its own solver, so no
+// per-request work may write the shared model.
+func TestConcurrentRepairsShareOneSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	lr := loadFigure2a(t, ts)
+
+	const goroutines = 8
+	const perG = 3
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var vr VerifyResponse
+				if st := postJSON(t, ts, "/v1/verify", VerifyRequest{Session: lr.Session, Policies: figure2aSpec}, &vr); st != http.StatusOK {
+					t.Errorf("g%d verify status = %d", g, st)
+					return
+				}
+				var rr RepairResponse
+				st := postJSON(t, ts, "/v1/repair", RepairRequest{Session: lr.Session, Policies: figure2aSpec}, &rr)
+				switch st {
+				case http.StatusOK:
+					if !rr.Solved {
+						t.Errorf("g%d repair unsolved", g)
+					}
+				case http.StatusTooManyRequests:
+					// Load shedding under the default queue depth is a
+					// legitimate outcome, not a failure.
+				default:
+					t.Errorf("g%d repair status = %d", g, st)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// per-endpoint latency histogram; observations beyond the last bound land
+// in a +Inf overflow bucket.
+var latencyBucketsMS = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	Count   int64
+	SumMS   float64
+	Buckets []int64 // len(latencyBucketsMS)+1; last is overflow
+}
+
+func newHistogram() *histogram {
+	return &histogram{Buckets: make([]int64, len(latencyBucketsMS)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.Count++
+	h.SumMS += ms
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[len(h.Buckets)-1]++
+}
+
+// stats aggregates the daemon's operational counters, reported by
+// GET /statsz.
+type stats struct {
+	mu    sync.Mutex
+	start time.Time
+
+	// Session cache.
+	loadsBuilt     int64 // /v1/load calls that parsed configs and built a HARC
+	cacheHits      int64 // loads answered from the session cache
+	loadsCoalesced int64 // loads deduplicated onto an in-flight build
+
+	// Solves (repair requests admitted to the worker pool).
+	solvesInFlight  int
+	solvesCompleted int64
+	solvesCancelled int64 // deadline exceeded or client gone
+	solvesRejected  int64 // shed with HTTP 429
+	conflicts       int64 // total SAT conflicts across completed solves
+
+	endpoints map[string]*histogram
+}
+
+func newStats() *stats {
+	return &stats{start: time.Now(), endpoints: make(map[string]*histogram)}
+}
+
+func (st *stats) observeLatency(endpoint string, d time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	h, ok := st.endpoints[endpoint]
+	if !ok {
+		h = newHistogram()
+		st.endpoints[endpoint] = h
+	}
+	h.observe(d)
+}
+
+func (st *stats) recordLoad(how loadOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch how {
+	case loadBuilt:
+		st.loadsBuilt++
+	case loadHit:
+		st.cacheHits++
+	case loadCoalesced:
+		st.loadsCoalesced++
+	}
+}
+
+func (st *stats) solveStarted() {
+	st.mu.Lock()
+	st.solvesInFlight++
+	st.mu.Unlock()
+}
+
+func (st *stats) solveFinished(cancelled bool, conflicts int64) {
+	st.mu.Lock()
+	st.solvesInFlight--
+	if cancelled {
+		st.solvesCancelled++
+	} else {
+		st.solvesCompleted++
+	}
+	st.conflicts += conflicts
+	st.mu.Unlock()
+}
+
+// solveCancelledQueued records a request whose deadline expired while it
+// was still waiting for a worker slot (admitted but never started).
+func (st *stats) solveCancelledQueued() {
+	st.mu.Lock()
+	st.solvesCancelled++
+	st.mu.Unlock()
+}
+
+func (st *stats) solveRejected() {
+	st.mu.Lock()
+	st.solvesRejected++
+	st.mu.Unlock()
+}
+
+// EndpointStats is one endpoint's latency summary in the /statsz payload.
+type EndpointStats struct {
+	Count     int64            `json:"count"`
+	SumMS     float64          `json:"sum_ms"`
+	BucketsMS map[string]int64 `json:"buckets_ms"`
+}
+
+// Statsz is the GET /statsz response body.
+type Statsz struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	SessionsCached int     `json:"sessions_cached"`
+	Cache          struct {
+		Builds    int64 `json:"builds"`
+		Hits      int64 `json:"hits"`
+		Coalesced int64 `json:"coalesced"`
+	} `json:"cache"`
+	Solves struct {
+		InFlight  int   `json:"in_flight"`
+		Completed int64 `json:"completed"`
+		Cancelled int64 `json:"cancelled"`
+		Rejected  int64 `json:"rejected"`
+		Conflicts int64 `json:"conflicts"`
+	} `json:"solves"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+func (st *stats) snapshot(sessions int) Statsz {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out Statsz
+	out.UptimeSeconds = time.Since(st.start).Seconds()
+	out.SessionsCached = sessions
+	out.Cache.Builds = st.loadsBuilt
+	out.Cache.Hits = st.cacheHits
+	out.Cache.Coalesced = st.loadsCoalesced
+	out.Solves.InFlight = st.solvesInFlight
+	out.Solves.Completed = st.solvesCompleted
+	out.Solves.Cancelled = st.solvesCancelled
+	out.Solves.Rejected = st.solvesRejected
+	out.Solves.Conflicts = st.conflicts
+	out.Endpoints = make(map[string]EndpointStats, len(st.endpoints))
+	for name, h := range st.endpoints {
+		es := EndpointStats{Count: h.Count, SumMS: h.SumMS, BucketsMS: make(map[string]int64, len(h.Buckets))}
+		for i, ub := range latencyBucketsMS {
+			es.BucketsMS[le(ub)] = h.Buckets[i]
+		}
+		es.BucketsMS["+Inf"] = h.Buckets[len(h.Buckets)-1]
+		out.Endpoints[name] = es
+	}
+	return out
+}
+
+func le(ub float64) string {
+	return "le_" + strconv.FormatFloat(ub, 'f', -1, 64)
+}

@@ -9,6 +9,8 @@
 package maxsat
 
 import (
+	"context"
+
 	"repro/internal/smt/sat"
 )
 
@@ -67,6 +69,27 @@ func SolveWeighted(s *sat.Solver, softs []sat.Lit, weights []int, algo Algorithm
 		}
 	}
 	return Solve(s, expanded, algo)
+}
+
+// SolveCtx is Solve under a context: cancelling ctx interrupts the
+// underlying SAT solver, and the optimization unwinds promptly with
+// Status == Unknown. Callers distinguish cancellation from an exhausted
+// conflict budget via ctx.Err().
+func SolveCtx(ctx context.Context, s *sat.Solver, softs []sat.Lit, algo Algorithm) Result {
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, s.Interrupt)
+		defer stop()
+	}
+	return Solve(s, softs, algo)
+}
+
+// SolveWeightedCtx is SolveWeighted under a context; see SolveCtx.
+func SolveWeightedCtx(ctx context.Context, s *sat.Solver, softs []sat.Lit, weights []int, algo Algorithm) Result {
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, s.Interrupt)
+		defer stop()
+	}
+	return SolveWeighted(s, softs, weights, algo)
 }
 
 // countViolated counts softs false under the solver's current model.

@@ -1,0 +1,65 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInterruptStopsSolve(t *testing.T) {
+	// PHP(12, 11) is exponentially hard for resolution: the solve
+	// reliably outlives any test timeout, making it the canonical
+	// interruption target (pigeonhole is the solver_test.go helper).
+	s := pigeonhole(11)
+
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(50 * time.Millisecond)
+	s.Interrupt()
+
+	select {
+	case st := <-done:
+		if st != Unknown {
+			t.Fatalf("interrupted solve = %v, want unknown", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("solver did not stop within 5s of Interrupt")
+	}
+	if !s.Interrupted() {
+		t.Error("Interrupted() = false after Interrupt")
+	}
+
+	// The flag is sticky: further solves return immediately…
+	t0 := time.Now()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve after interrupt = %v, want unknown", st)
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("sticky interrupted solve took %v", d)
+	}
+
+	// …until cleared, after which the solver works again.
+	s.ClearInterrupt()
+	if s.Interrupted() {
+		t.Error("Interrupted() = true after ClearInterrupt")
+	}
+	s2 := New()
+	a := s2.NewVar()
+	s2.AddClause(MkLit(a, false))
+	if st := s2.Solve(); st != Sat {
+		t.Fatalf("fresh solver = %v, want sat", st)
+	}
+}
+
+func TestInterruptBeforeSolve(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.Interrupt()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve with pending interrupt = %v, want unknown", st)
+	}
+	s.ClearInterrupt()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve after clear = %v, want sat", st)
+	}
+}

@@ -10,6 +10,7 @@ package sat
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Var is a boolean variable index (0-based).
@@ -122,6 +123,10 @@ type Solver struct {
 	// Budget limits Solve to roughly this many conflicts (0 = unlimited);
 	// exceeded budgets return Unknown.
 	Budget int64
+
+	// stop is the asynchronous interruption flag (see Interrupt). It is
+	// the only solver field safe to touch from another goroutine.
+	stop atomic.Bool
 }
 
 // New returns an empty solver.
@@ -593,6 +598,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	startConflicts := s.Conflicts
 
 	for {
+		if s.stop.Load() {
+			return Unknown
+		}
 		if s.Budget > 0 && s.Conflicts-startConflicts > s.Budget {
 			return Unknown
 		}
@@ -783,3 +791,20 @@ func (s *Solver) UnsatCore() []Lit { return s.core }
 // Okay reports whether the formula is still possibly satisfiable (false
 // after a clause contradiction at level 0).
 func (s *Solver) Okay() bool { return s.ok }
+
+// Interrupt asynchronously stops the in-flight Solve call at its next
+// search-loop iteration (a conflict or decision boundary, so within
+// microseconds on typical instances); the call returns Unknown. The flag
+// is sticky — subsequent Solve calls also return Unknown immediately —
+// which lets a cancelled MaxSAT driver unwind through its remaining SAT
+// calls without restarting work. Interrupt is the only solver method safe
+// to call from another goroutine.
+func (s *Solver) Interrupt() { s.stop.Store(true) }
+
+// ClearInterrupt re-arms the solver after an Interrupt.
+func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
+
+// Interrupted reports whether Interrupt has been called without a
+// subsequent ClearInterrupt. It distinguishes an Unknown verdict caused
+// by cancellation from one caused by an exhausted conflict Budget.
+func (s *Solver) Interrupted() bool { return s.stop.Load() }

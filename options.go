@@ -1,0 +1,62 @@
+package cpr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/smt/maxsat"
+)
+
+// OptionFlags is the string-level repair option surface shared by the
+// cpr CLI flags and cprd's JSON request bodies, so both front ends
+// accept identical spellings. Zero values mean "use the default".
+type OptionFlags struct {
+	// Granularity is "per-dst" (default) or "all-tcs".
+	Granularity string `json:"granularity,omitempty"`
+	// Algorithm is "linear" (default) or "fu-malik".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Objective is "min-lines" (default) or "min-devices".
+	Objective string `json:"objective,omitempty"`
+	// Parallelism bounds concurrent per-destination solves (≤0 = 1).
+	Parallelism int `json:"parallelism,omitempty"`
+	// ConflictBudget bounds each SAT call (0 = unlimited).
+	ConflictBudget int64 `json:"conflict_budget,omitempty"`
+}
+
+// Resolve converts the string-level flags into engine Options, rejecting
+// unknown spellings.
+func (f OptionFlags) Resolve() (Options, error) {
+	opts := DefaultOptions()
+	switch f.Granularity {
+	case "", "per-dst":
+		opts.Granularity = core.PerDst
+	case "all-tcs":
+		opts.Granularity = core.AllTCs
+	default:
+		return opts, fmt.Errorf("unknown granularity %q (want per-dst or all-tcs)", f.Granularity)
+	}
+	switch f.Algorithm {
+	case "", "linear":
+		opts.Algorithm = maxsat.LinearDescent
+	case "fu-malik":
+		opts.Algorithm = maxsat.FuMalik
+	default:
+		return opts, fmt.Errorf("unknown algorithm %q (want linear or fu-malik)", f.Algorithm)
+	}
+	switch f.Objective {
+	case "", "min-lines":
+		opts.Objective = core.MinLines
+	case "min-devices":
+		opts.Objective = core.MinDevices
+	default:
+		return opts, fmt.Errorf("unknown objective %q (want min-lines or min-devices)", f.Objective)
+	}
+	if f.Parallelism > 0 {
+		opts.Parallelism = f.Parallelism
+	}
+	if f.ConflictBudget < 0 {
+		return opts, fmt.Errorf("negative conflict budget %d", f.ConflictBudget)
+	}
+	opts.ConflictBudget = f.ConflictBudget
+	return opts, nil
+}
