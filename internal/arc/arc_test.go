@@ -111,7 +111,7 @@ func TestTable1OriginalPolicies(t *testing.T) {
 		t.Errorf("max-flow for S->T = %d, want 1 (dashed path of Fig. 3a)", MaxDisjointFlow(st))
 	}
 	// EP4: R->T uses A,B,C with no failures.
-	if !VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
+	if !VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), BuildRoutingETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
 		t.Error("EP4 should hold on the original network")
 	}
 	// Reachability under zero failures (k=1) does hold for S->T.
@@ -147,7 +147,7 @@ func TestFigure2bSideEffects(t *testing.T) {
 	if VerifyAlwaysBlocked(BuildTCETG(slots, tcOf(n, "S", "U"))) {
 		t.Error("EP1 should now be violated (A->C->B path exists)")
 	}
-	if VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
+	if VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), BuildRoutingETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
 		t.Error("EP4 should now be violated (A->C is shorter)")
 	}
 }
@@ -183,7 +183,7 @@ func TestFigure2cSatisfiesAll(t *testing.T) {
 	if !VerifyKReachable(st, n, 2) {
 		t.Error("EP3 should hold after Figure 2c repair")
 	}
-	if !VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
+	if !VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), BuildRoutingETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
 		t.Error("EP4 should hold after Figure 2c repair")
 	}
 }
@@ -211,7 +211,7 @@ func TestFigure2dSatisfiesAll(t *testing.T) {
 	if !VerifyKReachable(st, n, 2) {
 		t.Error("EP3 should hold after Figure 2d repair")
 	}
-	if !VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
+	if !VerifyPrimaryPath(BuildTCETG(slots, tcOf(n, "R", "T")), BuildRoutingETG(slots, tcOf(n, "R", "T")), []string{"A", "B", "C"}) {
 		t.Error("EP4 should hold after Figure 2d repair")
 	}
 }
@@ -397,5 +397,65 @@ func TestDeviceWaypointMarksIntraEdges(t *testing.T) {
 		if s.Kind == SlotIntraSelf && s.FromProc.Device.Name == "B" && !s.Waypoint() {
 			t.Error("intra edge on waypoint device should be a waypoint edge")
 		}
+	}
+}
+
+// TestPrimaryPathACLBlindness pins the PC4 soundness rule the repair
+// oracle uncovered: route selection ignores ACLs, so an ACL cannot
+// enforce a primary path. With the shorter A-C adjacency enabled and an
+// ACL on C's interface toward A blocking R->T, the tcETG's surviving
+// shortest path collapses to the required A,B,C — but routing still
+// sends the traffic over A->C, where the ACL drops it. The verifier must
+// judge PC4 violated.
+func TestPrimaryPathACLBlindness(t *testing.T) {
+	n := topology.Figure2a()
+	figure2b(n) // enable the shorter A-C adjacency
+	c := n.Device("C")
+	acl := c.AddACL("BLOCK-RT")
+	acl.Entries = []topology.ACLEntry{
+		{Permit: false, Src: n.Subnet("R").Prefix, Dst: n.Subnet("T").Prefix},
+		{Permit: true},
+	}
+	c.Interface("Ethernet0/1").InACL = "BLOCK-RT"
+
+	slots := Slots(n)
+	tc := tcOf(n, "R", "T")
+	tcETG := BuildTCETG(slots, tc)
+
+	// The tcETG alone is misleading: its shortest surviving path IS the
+	// required primary path (this is what made the old semantics unsound).
+	path, unique := tcETG.G.ShortestPathUnique(tcETG.Src, tcETG.Dst)
+	if path == nil || !unique {
+		t.Fatal("tcETG should have a unique surviving shortest path")
+	}
+	got := tcETG.DevicePath(path)
+	want := []string{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("tcETG surviving path %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tcETG surviving path %v, want %v", got, want)
+		}
+	}
+
+	if VerifyPrimaryPath(tcETG, BuildRoutingETG(slots, tc), want) {
+		t.Error("PC4 must be violated: routing prefers the ACL-blocked A->C edge")
+	}
+
+	// Blocking the primary path itself is also a violation, even when it
+	// is the routing-preferred path.
+	n2 := topology.Figure2a()
+	b := n2.Device("B")
+	acl2 := b.AddACL("BLOCK-RT")
+	acl2.Entries = []topology.ACLEntry{
+		{Permit: false, Src: n2.Subnet("R").Prefix, Dst: n2.Subnet("T").Prefix},
+		{Permit: true},
+	}
+	b.Interface("Ethernet0/1").InACL = "BLOCK-RT"
+	slots2 := Slots(n2)
+	tc2 := tcOf(n2, "R", "T")
+	if VerifyPrimaryPath(BuildTCETG(slots2, tc2), BuildRoutingETG(slots2, tc2), want) {
+		t.Error("PC4 must be violated: an ACL drops traffic on the primary path itself")
 	}
 }

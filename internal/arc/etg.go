@@ -94,6 +94,32 @@ func BuildTCETG(slots []*Slot, tc topology.TrafficClass) *ETG {
 	return b.etg
 }
 
+// BuildRoutingETG builds the graph route selection operates on for tc:
+// the dETG for tc.Dst augmented with tc's SRC and DST attachment edges.
+// ACLs are deliberately ignored — they drop packets but do not influence
+// shortest-path computation — so this graph can strictly contain the
+// tcETG. PC4 verification walks this graph, then checks tcETG usability
+// of the resulting path.
+func BuildRoutingETG(slots []*Slot, tc topology.TrafficClass) *ETG {
+	b := newBuilder(LevelTC)
+	b.etg.TC = tc
+	b.etg.DstSubnet = tc.Dst
+	b.etg.Src = b.etg.G.AddVertex("SRC")
+	b.etg.Dst = b.etg.G.AddVertex("DST")
+	for _, s := range slots {
+		if s.Kind == SlotSource && s.Subnet != tc.Src {
+			continue
+		}
+		if s.Kind == SlotDest && s.Subnet != tc.Dst {
+			continue
+		}
+		if s.PresentRouting(tc) {
+			b.add(s, s.Weight(tc.Dst))
+		}
+	}
+	return b.etg
+}
+
 // BuildDstETG builds the destination ETG for dst: route filters and static
 // routes apply, ACLs do not, and all sources are represented (source slots
 // are omitted; the DST vertex is present).

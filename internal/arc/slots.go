@@ -288,6 +288,19 @@ func (s *Slot) PresentDst(dst *topology.Subnet) bool {
 	return false
 }
 
+// PresentRouting reports whether the slot's edge exists in the graph
+// route selection operates on for tc. Routing is ACL-blind — an ACL
+// drops packets but never steers them elsewhere — so presence is
+// destination-level for every slot except the source attachment, which
+// only exists for tc's own source and still requires the gateway
+// process to hold a route to the destination.
+func (s *Slot) PresentRouting(tc topology.TrafficClass) bool {
+	if s.Kind == SlotSource {
+		return s.Subnet == tc.Src && !s.ToProc.BlocksDestination(tc.Dst.Prefix)
+	}
+	return s.PresentDst(tc.Dst)
+}
+
 // PresentTC reports whether the slot's edge exists in the tcETG for tc,
 // which additionally models ACLs (Algorithm 1, lines 14-15).
 func (s *Slot) PresentTC(tc topology.TrafficClass) bool {

@@ -72,16 +72,19 @@ func VerifyKReachable(e *ETG, n *topology.Network, k int) bool {
 	return rec(0, m)
 }
 
-// VerifyPrimaryPath implements PC4 of Table 1: in the absence of failures,
-// traffic from SRC to DST uses exactly the given device path, i.e. the
-// ETG's shortest SRC→DST path is unique and collapses to that device
-// sequence.
-func VerifyPrimaryPath(e *ETG, devices []string) bool {
-	path, unique := e.G.ShortestPathUnique(e.Src, e.Dst)
+// VerifyPrimaryPath implements PC4 of Table 1: in the absence of
+// failures, traffic from SRC to DST uses exactly the given device path.
+// Forwarding follows the shortest path of the ROUTING graph (route
+// selection is ACL-blind), so the required path must be the unique
+// shortest path there — and every edge it crosses must additionally be
+// usable in the tcETG: an ACL on the routed path drops traffic rather
+// than steering it onto another path.
+func VerifyPrimaryPath(tcETG, routing *ETG, devices []string) bool {
+	path, unique := routing.G.ShortestPathUnique(routing.Src, routing.Dst)
 	if path == nil || !unique {
 		return false
 	}
-	got := e.DevicePath(path)
+	got := routing.DevicePath(path)
 	if len(got) != len(devices) {
 		return false
 	}
@@ -90,5 +93,32 @@ func VerifyPrimaryPath(e *ETG, devices []string) bool {
 			return false
 		}
 	}
+	// Traffic takes the minimum-weight live edge at each hop; that edge's
+	// slot must still exist at the tc level or the packet is dropped.
+	for i := 0; i+1 < len(path); i++ {
+		s := minEdgeSlot(routing, path[i], path[i+1])
+		if s == nil {
+			return false
+		}
+		if _, usable := tcETG.EdgeOf[s.Key()]; !usable {
+			return false
+		}
+	}
 	return true
+}
+
+// minEdgeSlot returns the slot of the lowest-weight live edge from u to
+// v in the ETG (the edge Dijkstra relaxes), or nil if none exists.
+func minEdgeSlot(e *ETG, u, v graph.V) *Slot {
+	var best *Slot
+	var bestW int64
+	e.G.Out(u, func(id graph.E, ed graph.Edge) {
+		if ed.To != v {
+			return
+		}
+		if best == nil || ed.Weight < bestW {
+			best, bestW = e.SlotOf[id], ed.Weight
+		}
+	})
+	return best
 }

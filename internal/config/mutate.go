@@ -36,6 +36,11 @@ type LineChange struct {
 	Op      Op
 	Section string // enclosing stanza header, or "" for top level
 	Line    string
+	// Prepend marks an added line that must precede the section's existing
+	// lines (ACL entries are order-sensitive under first-match semantics).
+	// It does not affect change counting; Apply honors it when replaying a
+	// recorded change onto a configuration.
+	Prepend bool
 }
 
 // String renders the change as a diff-style line.
@@ -104,7 +109,7 @@ func (c *Config) AddACLDeny(intfName, dir string, src, dst netip.Prefix) ([]Line
 	// Prepending a deny is always correct and costs a single line.
 	acl.Entries = append([]ACLEntryLine{entry}, acl.Entries...)
 	return []LineChange{
-		{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: entry.text()},
+		{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: entry.text(), Prepend: true},
 	}, nil
 }
 
@@ -147,7 +152,7 @@ func (c *Config) RemoveACLDeny(intfName, dir string, src, dst netip.Prefix) ([]L
 	entry := ACLEntryLine{Permit: true, Src: src, Dst: dst}
 	acl.Entries = append([]ACLEntryLine{entry}, acl.Entries...)
 	return []LineChange{
-		{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: entry.text()},
+		{Device: c.Hostname, Op: OpAdd, Section: sectionACL(aclName), Line: entry.text(), Prepend: true},
 	}, nil
 }
 

@@ -300,27 +300,36 @@ func (p *parser) parseStatic(args []string) (*StaticRouteLine, error) {
 func (p *parser) parseACL(name string) (*ACLStanza, error) {
 	st := &ACLStanza{Name: name}
 	for _, line := range p.blockLines() {
-		fields := strings.Fields(line)
-		if (fields[0] != "permit" && fields[0] != "deny") || len(fields) < 2 || fields[1] != "ip" {
-			return nil, p.errf("ACL entry wants: permit|deny ip SRC DST")
-		}
-		entry := ACLEntryLine{Permit: fields[0] == "permit"}
-		rest := fields[2:]
-		src, rest, err := p.parseACLTarget(rest)
+		entry, err := p.parseACLEntry(line)
 		if err != nil {
 			return nil, err
 		}
-		dst, rest, err := p.parseACLTarget(rest)
-		if err != nil {
-			return nil, err
-		}
-		if len(rest) != 0 {
-			return nil, p.errf("trailing tokens in ACL entry %q", line)
-		}
-		entry.Src, entry.Dst = src, dst
 		st.Entries = append(st.Entries, entry)
 	}
 	return st, nil
+}
+
+// parseACLEntry parses a single "permit|deny ip SRC DST" entry line.
+func (p *parser) parseACLEntry(line string) (ACLEntryLine, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[0] != "permit" && fields[0] != "deny") || fields[1] != "ip" {
+		return ACLEntryLine{}, p.errf("ACL entry wants: permit|deny ip SRC DST")
+	}
+	entry := ACLEntryLine{Permit: fields[0] == "permit"}
+	rest := fields[2:]
+	src, rest, err := p.parseACLTarget(rest)
+	if err != nil {
+		return ACLEntryLine{}, err
+	}
+	dst, rest, err := p.parseACLTarget(rest)
+	if err != nil {
+		return ACLEntryLine{}, err
+	}
+	if len(rest) != 0 {
+		return ACLEntryLine{}, p.errf("trailing tokens in ACL entry %q", line)
+	}
+	entry.Src, entry.Dst = src, dst
+	return entry, nil
 }
 
 // parseACLTarget consumes "any" or "ADDR WILDCARD" from fields.

@@ -1,0 +1,65 @@
+package config_test
+
+// Printer/parser round-trip property: for any configuration the package
+// can parse, Parse(Print(Parse(x))) must equal Parse(x) — printing is a
+// lossless, canonical rendering of the AST. The property is checked on
+// the Figure 2a fixture, on generated fat-tree instances, and on broken
+// variants (the mutator exercises ACL, cost, filter, static, and
+// shutdown stanzas that the fixture alone does not).
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/generate"
+)
+
+// roundTrip asserts the fixed-point property for one configuration text.
+func roundTrip(t *testing.T, name, text string) {
+	t.Helper()
+	c1, err := config.Parse(name, text)
+	if err != nil {
+		t.Fatalf("%s does not parse: %v", name, err)
+	}
+	printed := c1.Print()
+	c2, err := config.Parse(name, printed)
+	if err != nil {
+		t.Fatalf("printed form of %s does not re-parse: %v\n%s", name, err, printed)
+	}
+	if got := c2.Print(); got != printed {
+		t.Fatalf("printing %s is not a fixed point:\n--- first ---\n%s--- second ---\n%s", name, printed, got)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("Parse(Print(Parse(x))) differs from Parse(x) for %s", name)
+	}
+}
+
+func TestRoundTripFigure2a(t *testing.T) {
+	for name, text := range config.Figure2aConfigs() {
+		roundTrip(t, name+".cfg", text)
+	}
+}
+
+func TestRoundTripFatTree(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inst, err := generate.FatTree(generate.FatTreeOptions{
+			K: 4, SubnetsPerEdge: 1,
+			PC1: 1, PC2: 1, PC3: 1, PC4: 1,
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, c := range inst.Configs {
+			roundTrip(t, c.Hostname+".cfg", c.Print())
+		}
+		// Broken instances exercise the mutated stanza shapes too.
+		if err := generate.BreakFatTree(inst, seed+100, 2); err != nil {
+			t.Fatalf("seed %d: break: %v", seed, err)
+		}
+		for _, c := range inst.Configs {
+			roundTrip(t, c.Hostname+".cfg", c.Print())
+		}
+	}
+}

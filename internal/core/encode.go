@@ -631,6 +631,20 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 	vertices := e.vertexSet(tc)
 	distBits := e.opts.DistBits
 
+	// Route selection is ACL-blind: distance labels, tightness, and the
+	// strict-preference comparisons all range over ROUTING-level edge
+	// presence (the dETG), not the tcETG. Encoding them over vT would let
+	// the solver "satisfy" PC4 by ACL-blocking a routing-preferred edge —
+	// concretely the traffic still routes into that edge and is dropped
+	// by the very ACL that was added. Only the source attachment, which
+	// exists solely at the tc level, keeps its tc variable.
+	pres := func(s *arc.Slot) *formula.F {
+		if s.Kind == arc.SlotSource {
+			return vT(tc, s)
+		}
+		return vD(tc.Dst, s)
+	}
+
 	dist := map[string]bv.Vec{}
 	unreach := map[string]*formula.F{}
 	for _, v := range vertices {
@@ -650,7 +664,7 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 	// label, and makes the head reachable.
 	for _, s := range slots {
 		u, v := s.FromVertex(), s.ToVertex()
-		premise := formula.And(vT(tc, s), formula.Not(unreach[u]))
+		premise := formula.And(pres(s), formula.Not(unreach[u]))
 		sum := bv.Add(dist[u], e.cost(s))
 		e.b.Assert(formula.Implies(premise, formula.And(
 			formula.Not(unreach[v]),
@@ -669,7 +683,7 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 		for _, s := range byDst[v] {
 			u := s.FromVertex()
 			supports = append(supports, formula.And(
-				vT(tc, s),
+				pres(s),
 				formula.Not(unreach[u]),
 				bv.Equal(dist[v], bv.Add(dist[u], e.cost(s))),
 			))
@@ -685,6 +699,9 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 	}
 	for _, cs := range chain {
 		u, v := cs.FromVertex(), cs.ToVertex()
+		// The chain edge must be usable at the tc level (no ACL may drop
+		// traffic on its own primary path); constraint 18 lifts this to
+		// routing presence.
 		e.b.Assert(vT(tc, cs))
 		e.b.Assert(formula.Not(unreach[u]))
 		chainSum := bv.Add(dist[u], e.cost(cs))
@@ -695,7 +712,7 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 			}
 			w := other.FromVertex()
 			e.b.Assert(formula.Implies(
-				formula.And(vT(tc, other), formula.Not(unreach[w])),
+				formula.And(pres(other), formula.Not(unreach[w])),
 				bv.Less(chainSum, bv.Add(dist[w], e.cost(other))),
 			))
 		}

@@ -1,0 +1,118 @@
+package crosscheck
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Deterministic tier-1 sweeps: a fixed band of seeds per oracle, small
+// enough to run in the regular test suite. cmd/cprfuzz runs the same
+// checks over long randomized campaigns.
+
+func TestSATOracleSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		if err := CheckSAT(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaxSATOracleSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		if err := CheckMaxSAT(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRepairOracleSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repair oracle is slow in -short mode")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		if err := CheckRepair(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBruteSATAgainstRandomModels sanity-checks the oracle's own brute
+// force: for satisfiable instances found by enumeration, a concrete
+// witness model must exist and satisfy every clause.
+func TestBruteSATAgainstRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		inst := genCNF(rng)
+		want := bruteSAT(inst.nVars, inst.clauses, nil)
+		found := false
+		for model := uint32(0); model < 1<<uint(inst.nVars); model++ {
+			ok := true
+			for _, c := range inst.clauses {
+				if !satisfies(c, model) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if found != want {
+			t.Fatalf("bruteSAT disagrees with witness search on instance %d", i)
+		}
+	}
+}
+
+// TestMinimizerPreservesFailure plants a synthetic divergence detector
+// shape: minimization must never return an instance that passes.
+func TestMinimizerPreservesFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		inst := genCNF(rng)
+		if checkCNF(inst) != "" {
+			min := minimizeCNF(inst)
+			if checkCNF(min) == "" {
+				t.Fatalf("minimized instance passes but original failed (iteration %d)", i)
+			}
+		}
+	}
+}
+
+// Native fuzz targets. Each consumes a single int64 seed — the corpus
+// under testdata/fuzz pins the deterministic band, and `go test -fuzz`
+// explores beyond it. Every discovered failure reproduces via
+// `go run ./cmd/cprfuzz -oracle <name> -seed <seed> -n 1`.
+
+func FuzzSAT(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckSAT(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzMaxSAT(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckMaxSAT(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzRepair(f *testing.F) {
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckRepair(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

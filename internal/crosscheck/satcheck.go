@@ -1,0 +1,254 @@
+package crosscheck
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/smt/dimacs"
+	"repro/internal/smt/sat"
+)
+
+// cnfInstance is one SAT-oracle test case: a CNF formula plus an
+// assumption set for the incremental-solving and UNSAT-core checks.
+type cnfInstance struct {
+	nVars       int
+	clauses     [][]sat.Lit
+	assumptions []sat.Lit
+}
+
+// genCNF draws a random 1..3-SAT instance near the satisfiability
+// threshold (clause/variable ratios both below and above it) so that SAT
+// and UNSAT outcomes are exercised.
+func genCNF(rng *rand.Rand) *cnfInstance {
+	nVars := 3 + rng.Intn(8) // 3..10
+	nClauses := 1 + rng.Intn(5*nVars)
+	inst := &cnfInstance{nVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		width := 1 + rng.Intn(3)
+		seen := map[sat.Var]bool{}
+		var clause []sat.Lit
+		for len(clause) < width {
+			v := sat.Var(rng.Intn(nVars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			clause = append(clause, sat.MkLit(v, rng.Intn(2) == 1))
+		}
+		inst.clauses = append(inst.clauses, clause)
+	}
+	// Up to nVars/2 assumption literals over distinct variables.
+	nAsm := rng.Intn(nVars/2 + 1)
+	seen := map[sat.Var]bool{}
+	for len(inst.assumptions) < nAsm {
+		v := sat.Var(rng.Intn(nVars))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		inst.assumptions = append(inst.assumptions, sat.MkLit(v, rng.Intn(2) == 1))
+	}
+	return inst
+}
+
+// satisfies reports whether the assignment (bit i of model = value of
+// variable i) satisfies the clause.
+func satisfies(clause []sat.Lit, model uint32) bool {
+	for _, l := range clause {
+		val := model>>uint(l.Var())&1 == 1
+		if val != l.Neg() {
+			return true
+		}
+	}
+	return false
+}
+
+// bruteSAT exhaustively decides satisfiability of clauses over nVars
+// variables, with forced assumption literals.
+func bruteSAT(nVars int, clauses [][]sat.Lit, assumptions []sat.Lit) bool {
+	for model := uint32(0); model < 1<<uint(nVars); model++ {
+		ok := true
+		for _, a := range assumptions {
+			if (model>>uint(a.Var())&1 == 1) == a.Neg() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, c := range clauses {
+			if !satisfies(c, model) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// loadCNF builds a fresh solver holding the instance's clauses.
+func loadCNF(inst *cnfInstance) *sat.Solver {
+	s := sat.New()
+	for i := 0; i < inst.nVars; i++ {
+		s.NewVar()
+	}
+	for _, c := range inst.clauses {
+		s.AddClause(c...)
+	}
+	return s
+}
+
+// checkCNF runs every SAT cross-check on one instance and returns a
+// description of the first divergence, or "".
+func checkCNF(inst *cnfInstance) string {
+	wantSat := bruteSAT(inst.nVars, inst.clauses, nil)
+
+	s := loadCNF(inst)
+	st := s.Solve()
+	if st == sat.Unknown {
+		return "solver returned Unknown with no budget set"
+	}
+	if (st == sat.Sat) != wantSat {
+		return fmt.Sprintf("plain solve: solver says %v, brute force says sat=%v", st, wantSat)
+	}
+	if st == sat.Sat {
+		// Independent model check: every clause must hold under the model.
+		var model uint32
+		for v := 0; v < inst.nVars; v++ {
+			if s.Value(sat.Var(v)) {
+				model |= 1 << uint(v)
+			}
+		}
+		for i, c := range inst.clauses {
+			if !satisfies(c, model) {
+				return fmt.Sprintf("model violates clause %d (%v)", i, c)
+			}
+		}
+	}
+
+	// DIMACS round trip: print, re-parse, compare, re-solve.
+	p := &dimacs.Problem{NumVars: inst.nVars, Hard: inst.clauses}
+	var buf bytes.Buffer
+	if err := p.Print(&buf); err != nil {
+		return fmt.Sprintf("dimacs print: %v", err)
+	}
+	p2, err := dimacs.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return fmt.Sprintf("dimacs re-parse: %v", err)
+	}
+	if p2.NumVars != inst.nVars || len(p2.Hard) != len(inst.clauses) || len(p2.Soft) != 0 {
+		return fmt.Sprintf("dimacs round trip changed shape: %d vars %d hard %d soft, want %d vars %d hard 0 soft",
+			p2.NumVars, len(p2.Hard), len(p2.Soft), inst.nVars, len(inst.clauses))
+	}
+	for i, c := range p2.Hard {
+		if len(c) != len(inst.clauses[i]) {
+			return fmt.Sprintf("dimacs round trip changed clause %d width", i)
+		}
+		for j, l := range c {
+			if l != inst.clauses[i][j] {
+				return fmt.Sprintf("dimacs round trip changed clause %d literal %d: %v != %v", i, j, l, inst.clauses[i][j])
+			}
+		}
+	}
+	s2, _ := p2.Load()
+	if st2 := s2.Solve(); (st2 == sat.Sat) != wantSat {
+		return fmt.Sprintf("round-tripped instance: solver says %v, brute force says sat=%v", st2, wantSat)
+	}
+
+	// Assumption solve + UNSAT-core sanity on the original solver (this
+	// also exercises incremental reuse after the first solve).
+	wantAsmSat := bruteSAT(inst.nVars, inst.clauses, inst.assumptions)
+	stAsm := s.Solve(inst.assumptions...)
+	if (stAsm == sat.Sat) != wantAsmSat {
+		return fmt.Sprintf("assumption solve: solver says %v under %v, brute force says sat=%v", stAsm, inst.assumptions, wantAsmSat)
+	}
+	if stAsm == sat.Unsat && wantSat {
+		// A core only means something when the hard clauses alone are SAT.
+		core := s.UnsatCore()
+		inAsm := map[sat.Lit]bool{}
+		for _, a := range inst.assumptions {
+			inAsm[a] = true
+		}
+		for _, l := range core {
+			if !inAsm[l] {
+				return fmt.Sprintf("unsat core literal %v is not an assumption (%v)", l, inst.assumptions)
+			}
+		}
+		if bruteSAT(inst.nVars, inst.clauses, core) {
+			return fmt.Sprintf("unsat core %v is satisfiable with the clauses by brute force", core)
+		}
+	}
+	return ""
+}
+
+// minimizeCNF greedily drops clauses and assumptions while the instance
+// keeps failing, yielding a smaller reproducer.
+func minimizeCNF(inst *cnfInstance) *cnfInstance {
+	cur := &cnfInstance{nVars: inst.nVars}
+	cur.clauses = append(cur.clauses, inst.clauses...)
+	cur.assumptions = append(cur.assumptions, inst.assumptions...)
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(cur.clauses); i++ {
+			cand := &cnfInstance{nVars: cur.nVars, assumptions: cur.assumptions}
+			cand.clauses = append(append([][]sat.Lit{}, cur.clauses[:i]...), cur.clauses[i+1:]...)
+			if checkCNF(cand) != "" {
+				cur = cand
+				again = true
+				i--
+			}
+		}
+		for i := 0; i < len(cur.assumptions); i++ {
+			cand := &cnfInstance{nVars: cur.nVars, clauses: cur.clauses}
+			cand.assumptions = append(append([]sat.Lit{}, cur.assumptions[:i]...), cur.assumptions[i+1:]...)
+			if checkCNF(cand) != "" {
+				cur = cand
+				again = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// renderCNF prints the instance in DIMACS form with the assumption set in
+// a comment line.
+func renderCNF(inst *cnfInstance) string {
+	p := &dimacs.Problem{NumVars: inst.nVars, Hard: inst.clauses}
+	var buf bytes.Buffer
+	_ = p.Print(&buf)
+	if len(inst.assumptions) > 0 {
+		var asm []string
+		for _, l := range inst.assumptions {
+			v := int(l.Var()) + 1
+			if l.Neg() {
+				v = -v
+			}
+			asm = append(asm, fmt.Sprint(v))
+		}
+		return "c assumptions: " + strings.Join(asm, " ") + "\n" + buf.String()
+	}
+	return buf.String()
+}
+
+// CheckSAT runs the SAT differential oracle for one seed. A non-nil error
+// is a *Divergence carrying a minimized DIMACS reproducer.
+func CheckSAT(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	inst := genCNF(rng)
+	detail := checkCNF(inst)
+	if detail == "" {
+		return nil
+	}
+	min := minimizeCNF(inst)
+	d := divf("sat", seed, "%s (minimized to %d clauses, %d assumptions)",
+		detail, len(min.clauses), len(min.assumptions))
+	d.Files = map[string]string{"instance.cnf": renderCNF(min)}
+	return d
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -112,4 +113,43 @@ func TestContextCachesCorpus(t *testing.T) {
 	if &a[0] != &b[0] {
 		t.Error("corpus should be cached")
 	}
+}
+
+// TestAblationGreedyNotBelowOptimal runs the design-choice ablation and
+// checks the cross-variant invariant the report's narrative relies on:
+// the greedy §5 baseline, when it happens to satisfy the specification,
+// never reports fewer model changes than the all-tcs MaxSMT optimum.
+func TestAblationGreedyNotBelowOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation experiment skipped in -short mode")
+	}
+	cfg := Quick()
+	ctx := NewContext(cfg)
+	rep, err := Ablation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := func(variant string) (n int, holds bool) {
+		for _, row := range rep.Rows {
+			if row[0] != variant {
+				continue
+			}
+			if row[2] == "DNF" || row[2] == "-" {
+				t.Skipf("%s did not finish (%q)", variant, row[2])
+			}
+			fmt.Sscan(row[2], &n)
+			return n, row[4] == "yes"
+		}
+		t.Fatalf("ablation report has no %q row", variant)
+		return 0, false
+	}
+	opt, optHolds := changes("all-tcs/linear")
+	if !optHolds {
+		t.Fatalf("all-tcs/linear repair does not satisfy the specification")
+	}
+	greedyN, greedyHolds := changes("greedy baseline (§5)")
+	if greedyHolds && greedyN < opt {
+		t.Errorf("greedy satisfies the spec with %d changes, below the all-tcs optimum %d", greedyN, opt)
+	}
+	t.Logf("optimum=%d greedy=%d (holds=%v)", opt, greedyN, greedyHolds)
 }

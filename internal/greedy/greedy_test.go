@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/generate"
 	"repro/internal/harc"
 	"repro/internal/policy"
 	"repro/internal/topology"
@@ -136,5 +137,45 @@ func TestGreedyImpossiblePC3(t *testing.T) {
 	p := policy.Policy{Kind: policy.KReachable, K: 3, TC: tcOf(n, "S", "T")}
 	if _, err := Repair(h, []policy.Policy{p}); err == nil {
 		t.Error("impossible PC3 should error")
+	}
+}
+
+// TestGreedyNeverBeatsOptimal sweeps generated data-center instances
+// (PC1/PC3 specifications — the classes the baseline supports) and checks
+// the defining property of the MaxSMT formulation: whenever the greedy
+// baseline produces a repair that satisfies the whole specification, its
+// change count is at least the optimum found at all-tcs granularity.
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Granularity = core.AllTCs
+	for seed := int64(1); seed <= 4; seed++ {
+		inst, err := generate.DataCenter(generate.DCOptions{
+			Name: "greedy-vs-opt", Routers: 6, Subnets: 8,
+			BlockedFrac: 0.4, FullyBlockedDsts: 1, Violations: 3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		h := inst.Harc()
+		g, err := Repair(h, inst.Policies)
+		if err != nil {
+			t.Fatalf("seed %d: greedy: %v", seed, err)
+		}
+		res, err := core.Repair(h, inst.Policies, opts)
+		if err != nil {
+			t.Fatalf("seed %d: core: %v", seed, err)
+		}
+		if !res.Solved {
+			t.Fatalf("seed %d: all-tcs repair did not solve", seed)
+		}
+		if bad := core.VerifyRepair(h, res.State, inst.Policies); len(bad) != 0 {
+			t.Fatalf("seed %d: optimal repair leaves violations: %v", seed, bad)
+		}
+		if g.Clean && g.Changes < res.Changes {
+			t.Errorf("seed %d: greedy clean with %d changes, below the optimum %d",
+				seed, g.Changes, res.Changes)
+		}
+		t.Logf("seed %d: greedy clean=%v changes=%d; optimal changes=%d",
+			seed, g.Clean, g.Changes, res.Changes)
 	}
 }

@@ -305,6 +305,47 @@ func BuildTCETGFromState(h *HARC, st *State, tc topology.TrafficClass) *arc.ETG 
 	return etg
 }
 
+// BuildRoutingETGFromState materializes the routing graph encoded in the
+// state for tc: destination-level presence for every slot (route
+// selection is ACL-blind) plus tc's own attachment edges. The source
+// attachment uses tc-level presence — a blocked entry drops traffic
+// outright, it cannot be routed around.
+func BuildRoutingETGFromState(h *HARC, st *State, tc topology.TrafficClass) *arc.ETG {
+	etg := &arc.ETG{
+		Level:     arc.LevelTC,
+		TC:        tc,
+		DstSubnet: tc.Dst,
+		G:         graph.New(),
+		SlotOf:    make(map[graph.E]*arc.Slot),
+		EdgeOf:    make(map[string]graph.E),
+	}
+	etg.Src = etg.G.AddVertex("SRC")
+	etg.Dst = etg.G.AddVertex("DST")
+	etg.Waypoints = st.Waypoint
+	dstm := st.Dst[tc.Dst.Name]
+	tcm := st.TC[tc.Key()]
+	for _, s := range h.Slots {
+		if s.Kind == arc.SlotSource {
+			if s.Subnet != tc.Src || !tcm[s.Key()] {
+				continue
+			}
+		} else {
+			if s.Kind == arc.SlotDest && s.Subnet != tc.Dst {
+				continue
+			}
+			if !dstm[s.Key()] {
+				continue
+			}
+		}
+		from := etg.G.AddVertex(s.FromVertex())
+		to := etg.G.AddVertex(s.ToVertex())
+		e := etg.G.AddEdge(from, to, st.SlotCost(s, tc.Dst))
+		etg.SlotOf[e] = s
+		etg.EdgeOf[s.Key()] = e
+	}
+	return etg
+}
+
 // ValidateState checks the hierarchy invariants on an explicit state
 // (constraints 18-19 of Figure 5 plus the static-backing rule for
 // intra-device edges).

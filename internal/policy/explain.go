@@ -48,19 +48,25 @@ func Explain(h *harc.HARC, p Policy) (witness string, ok bool) {
 		return fmt.Sprintf("failing link(s) %s disconnects the class", strings.Join(names, ", ")), true
 
 	case PrimaryPath:
-		path, unique := etg.G.ShortestPathUnique(etg.Src, etg.Dst)
+		// Route selection ignores ACLs, so the witness comes from the
+		// routing graph, not the tcETG.
+		routing := arc.BuildRoutingETG(h.Slots, p.TC)
+		path, unique := routing.G.ShortestPathUnique(routing.Src, routing.Dst)
 		if path == nil {
 			return "destination is unreachable", true
 		}
-		got := etg.DevicePath(path)
+		got := routing.DevicePath(path)
 		want := strings.Join(p.Path, " -> ")
 		if !unique {
 			return fmt.Sprintf("multiple equal-cost shortest paths exist (one is %s); forwarding is ambiguous", strings.Join(got, " -> ")), true
 		}
-		if strings.Join(got, " -> ") == want {
-			return "", false
+		if strings.Join(got, " -> ") != want {
+			return fmt.Sprintf("traffic uses %s instead of %s", strings.Join(got, " -> "), want), true
 		}
-		return fmt.Sprintf("traffic uses %s instead of %s", strings.Join(got, " -> "), want), true
+		if !arc.VerifyPrimaryPath(etg, routing, p.Path) {
+			return "an ACL drops traffic on the primary path itself", true
+		}
+		return "", false
 
 	case Isolated:
 		other := tcETGOf(h, p.TC2)

@@ -84,6 +84,12 @@ func Check(h *harc.HARC, p Policy) bool {
 	if p.Kind == Isolated {
 		return checkIsolated(tcETGOf(h, p.TC), tcETGOf(h, p.TC2))
 	}
+	if p.Kind == PrimaryPath {
+		// PC4 compares against the routing graph: route selection is
+		// ACL-blind, so the tcETG alone cannot decide which path traffic
+		// takes.
+		return arc.VerifyPrimaryPath(tcETGOf(h, p.TC), arc.BuildRoutingETG(h.Slots, p.TC), p.Path)
+	}
 	return checkETG(tcETGOf(h, p.TC), h.Network, p)
 }
 
@@ -100,6 +106,9 @@ func CheckState(h *harc.HARC, st *harc.State, p Policy) bool {
 	etg := harc.BuildTCETGFromState(h, st, p.TC)
 	if p.Kind == Isolated {
 		return checkIsolated(etg, harc.BuildTCETGFromState(h, st, p.TC2))
+	}
+	if p.Kind == PrimaryPath {
+		return arc.VerifyPrimaryPath(etg, harc.BuildRoutingETGFromState(h, st, p.TC), p.Path)
 	}
 	return checkETG(etg, h.Network, p)
 }
@@ -123,8 +132,6 @@ func checkETG(etg *arc.ETG, n *topology.Network, p Policy) bool {
 		return arc.VerifyAlwaysWaypoint(etg)
 	case KReachable:
 		return arc.VerifyKReachable(etg, n, p.K)
-	case PrimaryPath:
-		return arc.VerifyPrimaryPath(etg, p.Path)
 	}
 	return false
 }

@@ -312,16 +312,30 @@ func ForwardTrace(n *topology.Network, tc topology.TrafficClass, failed map[*top
 // the network's links, delivered traffic of class tc crossed a waypoint
 // (the ground truth for PC2).
 func AlwaysTraversesWaypoint(n *topology.Network, tc topology.TrafficClass) bool {
+	return WaypointUnderFailures(n, tc, len(n.Links))
+}
+
+// ForEachFailureSet enumerates every subset of the network's links with at
+// most maxFail elements — including the empty set — and calls visit with
+// each. The map passed to visit is reused across calls; visit must not
+// retain it. Returning false from visit stops the enumeration early, and
+// ForEachFailureSet reports whether every visit returned true.
+func ForEachFailureSet(n *topology.Network, maxFail int, visit func(failed map[*topology.Link]bool) bool) bool {
 	links := n.Links
-	var rec func(start int, failed map[*topology.Link]bool) bool
-	rec = func(start int, failed map[*topology.Link]bool) bool {
-		tr := ForwardTrace(n, tc, failed)
-		if tr.Outcome == Delivered && !tr.Waypoint {
+	if maxFail > len(links) {
+		maxFail = len(links)
+	}
+	var rec func(start int, failed map[*topology.Link]bool, budget int) bool
+	rec = func(start int, failed map[*topology.Link]bool, budget int) bool {
+		if !visit(failed) {
 			return false
+		}
+		if budget == 0 {
+			return true
 		}
 		for i := start; i < len(links); i++ {
 			failed[links[i]] = true
-			ok := rec(i+1, failed)
+			ok := rec(i+1, failed, budget-1)
 			delete(failed, links[i])
 			if !ok {
 				return false
@@ -329,7 +343,36 @@ func AlwaysTraversesWaypoint(n *topology.Network, tc topology.TrafficClass) bool
 		}
 		return true
 	}
-	return rec(0, map[*topology.Link]bool{})
+	return rec(0, map[*topology.Link]bool{}, maxFail)
+}
+
+// BlockedUnderFailures reports whether tc is never delivered under any
+// failure set of at most maxFail links (the bounded ground truth for PC1).
+func BlockedUnderFailures(n *topology.Network, tc topology.TrafficClass, maxFail int) bool {
+	return ForEachFailureSet(n, maxFail, func(failed map[*topology.Link]bool) bool {
+		out, _, _ := Forward(n, tc, failed)
+		return out != Delivered
+	})
+}
+
+// WaypointUnderFailures reports whether every delivery of tc under any
+// failure set of at most maxFail links crossed a waypoint (the bounded
+// ground truth for PC2).
+func WaypointUnderFailures(n *topology.Network, tc topology.TrafficClass, maxFail int) bool {
+	return ForEachFailureSet(n, maxFail, func(failed map[*topology.Link]bool) bool {
+		tr := ForwardTrace(n, tc, failed)
+		return tr.Outcome != Delivered || tr.Waypoint
+	})
+}
+
+// DeliveredUnderFailures reports whether tc is delivered under every
+// failure set of at most maxFail links, the empty set included (the
+// bounded ground truth for PC3 with k = maxFail+1).
+func DeliveredUnderFailures(n *topology.Network, tc topology.TrafficClass, maxFail int) bool {
+	return ForEachFailureSet(n, maxFail, func(failed map[*topology.Link]bool) bool {
+		out, _, _ := Forward(n, tc, failed)
+		return out == Delivered
+	})
 }
 
 // Forward walks a packet of traffic class tc from its source attachment
@@ -399,26 +442,10 @@ func Forward(n *topology.Network, tc topology.TrafficClass, failed map[*topology
 // ReachableUnderSomeFailure reports whether tc can be delivered under any
 // failure combination of at most maxFailures links (including none).
 func ReachableUnderSomeFailure(n *topology.Network, tc topology.TrafficClass, maxFailures int) bool {
-	links := n.Links
-	var rec func(start int, failed map[*topology.Link]bool, budget int) bool
-	rec = func(start int, failed map[*topology.Link]bool, budget int) bool {
-		if out, _, _ := Forward(n, tc, failed); out == Delivered {
-			return true
-		}
-		if budget == 0 {
-			return false
-		}
-		for i := start; i < len(links); i++ {
-			failed[links[i]] = true
-			ok := rec(i+1, failed, budget-1)
-			delete(failed, links[i])
-			if ok {
-				return true
-			}
-		}
-		return false
-	}
-	return rec(0, map[*topology.Link]bool{}, maxFailures)
+	return !ForEachFailureSet(n, maxFailures, func(failed map[*topology.Link]bool) bool {
+		out, _, _ := Forward(n, tc, failed)
+		return out != Delivered // stop (return false) once delivered
+	})
 }
 
 // DeliveredUnderAllFailures reports whether tc is delivered under every

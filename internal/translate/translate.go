@@ -28,6 +28,16 @@ type WaypointChange struct {
 type Plan struct {
 	Lines     []config.LineChange
 	Waypoints []WaypointChange
+	// Groups partitions Lines by the construct edit that produced them: one
+	// group per mutator call (e.g. a fresh ACL plus its attachment is one
+	// group). Groups is the granularity at which dropping a patch is
+	// meaningful — individual lines of a group are not independent.
+	Groups [][]config.LineChange
+	// WaypointLines holds, parallel to Waypoints, the configuration lines
+	// mirroring each middlebox change (the "waypoint" interface marker).
+	// They are excluded from Lines because the paper counts middlebox
+	// placements separately from configuration lines.
+	WaypointLines [][]config.LineChange
 }
 
 // NumLines returns the number of configuration lines changed.
@@ -80,8 +90,17 @@ func (t *translator) add(lcs []config.LineChange, err error) error {
 	if err != nil {
 		return err
 	}
-	t.plan.Lines = append(t.plan.Lines, lcs...)
+	t.addLines(lcs)
 	return nil
+}
+
+// addLines records one mutator call's line changes as a group.
+func (t *translator) addLines(lcs []config.LineChange) {
+	if len(lcs) == 0 {
+		return
+	}
+	t.plan.Lines = append(t.plan.Lines, lcs...)
+	t.plan.Groups = append(t.plan.Groups, lcs)
 }
 
 func (t *translator) run() error {
@@ -258,12 +277,12 @@ func (t *translator) staticRoutes() error {
 			dist := int(t.rep.SlotCost(s, dst))
 			switch {
 			case !origStatic && newStatic:
-				t.plan.Lines = append(t.plan.Lines, c.AddStaticRoute(dst.Prefix, nh, dist)...)
+				t.addLines(c.AddStaticRoute(dst.Prefix, nh, dist))
 			case origStatic && !newStatic:
-				t.plan.Lines = append(t.plan.Lines, c.RemoveStaticRoute(dst.Prefix, nh)...)
+				t.addLines(c.RemoveStaticRoute(dst.Prefix, nh))
 			case origStatic && newStatic:
 				if sr := s.StaticBacked(dst); sr != nil && sr.Distance != dist {
-					t.plan.Lines = append(t.plan.Lines, c.SetStaticDistance(dst.Prefix, nh, dist)...)
+					t.addLines(c.SetStaticDistance(dst.Prefix, nh, dist))
 				}
 			}
 		}
@@ -380,18 +399,20 @@ func (t *translator) waypoints() {
 			continue
 		}
 		t.plan.Waypoints = append(t.plan.Waypoints, WaypointChange{Link: name, Add: newWP})
+		var mirrored []config.LineChange
 		for _, l := range t.h.Network.Links {
 			if l.Name() != name {
 				continue
 			}
 			if c := t.cfgs[l.A.Device.Name]; c != nil {
+				// Waypoint markers are tracked separately from line counts;
+				// the mirroring lines go to WaypointLines, not Lines.
 				if lcs, err := c.SetWaypoint(l.A.Name, newWP); err == nil {
-					// Waypoint markers are tracked separately from line
-					// counts; discard the line changes.
-					_ = lcs
+					mirrored = append(mirrored, lcs...)
 				}
 			}
 		}
+		t.plan.WaypointLines = append(t.plan.WaypointLines, mirrored)
 	}
 }
 
@@ -436,6 +457,34 @@ func ImpactedTCs(h *harc.HARC, orig, repaired *harc.State) []topology.TrafficCla
 		}
 	}
 	return out
+}
+
+// ApplyPlan replays a plan's recorded line changes (including the
+// waypoint-mirroring lines) onto a set of parsed configurations. Translate
+// already mutates the configurations it is given; ApplyPlan exists to
+// replay the same edits onto an independent copy — e.g. to check that the
+// recorded patch, and nothing else, reproduces the repaired behavior.
+func ApplyPlan(cfgs map[string]*config.Config, plan *Plan) error {
+	apply := func(lc config.LineChange) error {
+		c := cfgs[lc.Device]
+		if c == nil {
+			return fmt.Errorf("translate: apply: no configuration for device %s", lc.Device)
+		}
+		return c.Apply(lc)
+	}
+	for _, lc := range plan.Lines {
+		if err := apply(lc); err != nil {
+			return err
+		}
+	}
+	for _, group := range plan.WaypointLines {
+		for _, lc := range group {
+			if err := apply(lc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // CloneConfigs deep-copies parsed configurations via print/parse.
