@@ -38,6 +38,10 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "parallel per-destination solves")
 		budget     = flag.Int64("budget", 0, "SAT conflict budget per problem (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "repair deadline (0 = none); exceeding it cancels the solve")
+		isolation  = flag.String("isolation", "on", "per-destination fault isolation: on or off")
+		retries    = flag.Int("retries", 0, "solve attempts per destination under isolation (0 = default 3)")
+		dstTimeout = flag.Duration("dst-timeout", 0, "per-destination watchdog deadline (0 = derive from -timeout)")
+		noFallback = flag.Bool("no-fallback", false, "disable greedy degradation of exhausted destinations")
 	)
 	flag.Parse()
 	if *configDir == "" {
@@ -52,6 +56,10 @@ func main() {
 		Objective:      *objFlag,
 		Parallelism:    *parallel,
 		ConflictBudget: *budget,
+		Isolation:      *isolation,
+		RetryAttempts:  *retries,
+		DstTimeoutMS:   dstTimeout.Milliseconds(),
+		NoFallback:     *noFallback,
 	}
 	if err := run(*configDir, *policyFile, *outDir, *verifyOnly, optFlags, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "cpr:", err)
@@ -110,8 +118,12 @@ func run(configDir, policyFile, outDir string, verifyOnly bool, optFlags cpr.Opt
 		return err
 	}
 	printStats(rep.Result)
-	if !rep.Solved() {
+	if !rep.Usable() {
 		return fmt.Errorf("no repair found (specification unsatisfiable or budget exhausted)")
+	}
+	if !rep.Solved() {
+		fmt.Printf("partial repair: %d destination(s) degraded to the greedy baseline, %d failed (see statuses above)\n",
+			rep.Result.Degraded, rep.Result.Failed)
 	}
 	fmt.Printf("repair: %d configuration lines, %d waypoint changes\n",
 		rep.Plan.NumLines(), len(rep.Plan.Waypoints))
@@ -136,9 +148,22 @@ func printStats(res *core.Result) {
 	fmt.Printf("solved %d MaxSMT problem(s) in %v (sequential %v)\n",
 		len(res.Stats), res.Duration.Round(1e6), res.Sequential.Round(1e6))
 	for _, st := range res.Stats {
-		fmt.Printf("  %-12s tcs=%-4d policies=%-4d vars=%-7d softs=%-5d violated=%-3d %v %s\n",
+		extra := ""
+		if st.Outcome != core.OutcomeSolved {
+			extra = " outcome=" + st.Outcome.String()
+			if st.Fallback != "" {
+				extra += " fallback=" + st.Fallback
+			}
+			if st.Err != "" {
+				extra += " err=" + st.Err
+			}
+		}
+		if st.Attempts > 1 {
+			extra += fmt.Sprintf(" attempts=%d", st.Attempts)
+		}
+		fmt.Printf("  %-12s tcs=%-4d policies=%-4d vars=%-7d softs=%-5d violated=%-3d %v %s%s\n",
 			st.Label, st.TCs, st.Policies, st.Vars, st.Softs, st.Violations,
-			st.Duration.Round(1e5), st.Status)
+			st.Duration.Round(1e5), st.Status, extra)
 	}
 }
 

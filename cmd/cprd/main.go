@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -53,6 +54,15 @@ func main() {
 }
 
 func run(listen string, sessions, workers, queue int, timeout, maxTO, drain time.Duration) error {
+	// Chaos testing: CPR_FAILPOINTS arms failpoints in the solver,
+	// encoder, and session cache (see internal/faultinject). Unset in
+	// production, this is a no-op.
+	if err := faultinject.FromEnv(); err != nil {
+		return err
+	}
+	if faultinject.Enabled() {
+		log.Printf("cprd: fault injection armed from CPR_FAILPOINTS")
+	}
 	srv := server.New(server.Config{
 		MaxSessions:    sessions,
 		Workers:        workers,

@@ -169,10 +169,15 @@ func (s *System) RepairCtx(ctx context.Context, policies []Policy, opts Options)
 		return nil, err
 	}
 	out := &RepairOutput{Result: res}
-	if !res.Solved {
+	// Under fault isolation a partial result is still worth translating:
+	// every solved or degraded destination's repair is verified and
+	// patched, while failed destinations are reported in Result.Stats.
+	// res.Repaired lists exactly the policies the repaired state must
+	// satisfy (all of them when res.Solved).
+	if !res.Usable() {
 		return out, nil
 	}
-	if bad := core.VerifyRepair(s.HARC, res.State, policies); len(bad) != 0 {
+	if bad := core.VerifyRepair(s.HARC, res.State, res.Repaired); len(bad) != 0 {
 		return nil, fmt.Errorf("cpr: internal error: repair violates %d policies (first: %s)", len(bad), bad[0])
 	}
 	cfgs, err := translate.CloneConfigs(s.Configs)
@@ -202,3 +207,8 @@ type RepairOutput struct {
 
 // Solved reports whether every sub-problem found an optimal repair.
 func (r *RepairOutput) Solved() bool { return r.Result != nil && r.Result.Solved }
+
+// Usable reports whether at least one sub-problem produced a verified
+// repair, i.e. the output carries a patch worth applying even though
+// some destinations may have degraded or failed.
+func (r *RepairOutput) Usable() bool { return r.Result != nil && r.Result.Usable() }

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/harc"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// chaosSites are the failpoints the campaign must fire at least once
+// (the server cache failpoint is covered by the server package's suite).
+var chaosSites = []string{
+	faultinject.SATSolvePanic,
+	faultinject.SATSpuriousInterrupt,
+	faultinject.SATBudgetStarve,
+	faultinject.CoreEncodeError,
+	faultinject.CoreEncodeSlow,
+}
+
+// chaosSeed returns the campaign's RNG seed: CHAOS_SEED if set (so a CI
+// failure is replayable), 1 otherwise.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", env, err)
+		}
+		return seed
+	}
+	return 1
+}
+
+// checkChaosInvariants asserts what must hold after ANY isolated repair,
+// faults or not: a result (never an error, never a crash), every
+// sub-problem classified, counts consistent, and the partial state
+// verified against exactly the policies the result claims repaired.
+func checkChaosInvariants(t *testing.T, h *harc.HARC, res *Result, err error, round string) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: isolated repair returned error %v, want fault containment", round, err)
+	}
+	if res == nil {
+		t.Fatalf("%s: nil result", round)
+	}
+	solved, degraded, failed := 0, 0, 0
+	for _, st := range res.Stats {
+		switch st.Outcome {
+		case OutcomeSolved:
+			solved++
+		case OutcomeDegraded:
+			degraded++
+			if st.Fallback != "greedy" {
+				t.Errorf("%s: degraded problem %q fallback = %q, want greedy", round, st.Label, st.Fallback)
+			}
+		case OutcomeFailed:
+			failed++
+			if st.Err == "" {
+				t.Errorf("%s: failed problem %q has no error", round, st.Label)
+			}
+		default:
+			t.Errorf("%s: problem %q has unclassified outcome %d", round, st.Label, st.Outcome)
+		}
+	}
+	if degraded != res.Degraded || failed != res.Failed {
+		t.Errorf("%s: counters degraded=%d failed=%d, stats say %d/%d", round, res.Degraded, res.Failed, degraded, failed)
+	}
+	if res.Solved != (degraded == 0 && failed == 0) {
+		t.Errorf("%s: Solved=%v with %d degraded %d failed", round, res.Solved, degraded, failed)
+	}
+	if (solved > 0 || degraded > 0) != res.Usable() {
+		t.Errorf("%s: Usable=%v with %d solved %d degraded", round, res.Usable(), solved, degraded)
+	}
+	if bad := VerifyRepair(h, res.State, res.Repaired); len(bad) != 0 {
+		t.Errorf("%s: state violates %d repaired policies (first: %s)", round, len(bad), bad[0])
+	}
+}
+
+// TestChaosCampaign drives the isolated repair pipeline through every
+// failpoint — first one site at a time (finite then unlimited faults),
+// then seeded random combinations — and checks after every round that
+// faults were contained, outcomes are accurate, and every destination
+// reported repaired actually verifies.
+func TestChaosCampaign(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("chaos campaign seed %d (set CHAOS_SEED to replay)", seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	inst := dcInstance(t)
+	h := inst.Harc()
+	opts := DefaultOptions()
+	defer faultinject.Reset()
+
+	specFor := func(site string, count int) string {
+		prefix := ""
+		if count > 0 {
+			prefix = fmt.Sprintf("%d*", count)
+		}
+		switch site {
+		case faultinject.SATSolvePanic:
+			return prefix + "panic"
+		case faultinject.CoreEncodeSlow:
+			return prefix + "sleep(1ms)"
+		default:
+			return prefix + "error"
+		}
+	}
+
+	// Phase 1: each site alone, finite count — retries must absorb the
+	// fault and the repair still fully solves.
+	for _, site := range chaosSites {
+		faultinject.Reset()
+		if err := faultinject.Set(site, specFor(site, 1)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Repair(h, inst.Policies, opts)
+		round := "finite " + site
+		checkChaosInvariants(t, h, res, err, round)
+		if !res.Solved {
+			t.Errorf("%s: one transient fault was not absorbed by retries (degraded=%d failed=%d)",
+				round, res.Degraded, res.Failed)
+		}
+	}
+
+	// Phase 2: each site alone, unlimited — every attempt fails, so each
+	// problem must land on the greedy fallback or be marked failed, with
+	// the process never crashing.
+	for _, site := range chaosSites {
+		faultinject.Reset()
+		if err := faultinject.Set(site, specFor(site, 0)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Repair(h, inst.Policies, opts)
+		round := "unlimited " + site
+		checkChaosInvariants(t, h, res, err, round)
+		if site == faultinject.CoreEncodeSlow {
+			if !res.Solved {
+				t.Errorf("%s: slow encode must not fail problems", round)
+			}
+		} else if res.Solved {
+			t.Errorf("%s: repair claims fully solved under a permanent fault", round)
+		}
+	}
+
+	// Phase 3: seeded random combinations of sites, counts, and budgets.
+	for round := 0; round < 6; round++ {
+		faultinject.Reset()
+		armed := []string{}
+		for _, site := range chaosSites {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			count := rng.Intn(4) // 0 = unlimited
+			if err := faultinject.Set(site, specFor(site, count)); err != nil {
+				t.Fatal(err)
+			}
+			armed = append(armed, specFor(site, count)+"@"+site)
+		}
+		o := opts
+		if rng.Intn(2) == 0 {
+			o.ConflictBudget = int64(1000 + rng.Intn(10000))
+		}
+		o.Parallelism = 1 + rng.Intn(4)
+		res, err := Repair(h, inst.Policies, o)
+		checkChaosInvariants(t, h, res, err, fmt.Sprintf("random round %d %v", round, armed))
+	}
+
+	// Coverage: the campaign must have fired every registered failpoint
+	// (fired counts survive Reset by design).
+	for _, site := range chaosSites {
+		if faultinject.FiredCount(site) == 0 {
+			t.Errorf("failpoint %s never fired during the campaign", site)
+		}
+	}
+}
+
+// TestDegradedFallbackVerifies pins the degradation path end to end on a
+// deterministic instance: with the solver permanently starved, the PC3
+// problem must fall back to the greedy baseline, be realized as
+// per-destination constructs, and the merged state must satisfy the
+// policy.
+func TestDegradedFallbackVerifies(t *testing.T) {
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	ps := []policy.Policy{{
+		Kind: policy.KReachable, K: 2,
+		TC: topology.TrafficClass{Src: n.Subnet("S"), Dst: n.Subnet("T")},
+	}}
+	if err := faultinject.Set(faultinject.SATBudgetStarve, "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	res, err := Repair(h, ps, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != 1 || res.Failed != 0 || res.Solved {
+		t.Fatalf("degraded=%d failed=%d solved=%v, want exactly one degraded problem",
+			res.Degraded, res.Failed, res.Solved)
+	}
+	st := res.Stats[0]
+	if st.Outcome != OutcomeDegraded || st.Fallback != "greedy" {
+		t.Errorf("stat = outcome %s fallback %q, want degraded via greedy", st.Outcome, st.Fallback)
+	}
+	if st.Attempts != defaultRetryAttempts {
+		t.Errorf("attempts = %d, want %d (budget escalation exhausted)", st.Attempts, defaultRetryAttempts)
+	}
+	if st.Err == "" {
+		t.Error("degraded stat lost the error that forced the fallback")
+	}
+	if !res.Usable() {
+		t.Error("degraded result not usable")
+	}
+	if bad := VerifyRepair(h, res.State, ps); len(bad) != 0 {
+		t.Fatalf("degraded state violates %v", bad)
+	}
+	if res.Changes == 0 {
+		t.Error("degraded repair reports zero changes")
+	}
+}
+
+// TestNoFallbackMarksFailed checks the DisableFallback escape hatch:
+// with degradation off, a starved problem is failed, not silently
+// greedy-repaired.
+func TestNoFallbackMarksFailed(t *testing.T) {
+	n := topology.Figure2a()
+	h := harc.Build(n)
+	ps := []policy.Policy{{
+		Kind: policy.KReachable, K: 2,
+		TC: topology.TrafficClass{Src: n.Subnet("S"), Dst: n.Subnet("T")},
+	}}
+	if err := faultinject.Set(faultinject.SATBudgetStarve, "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	opts := DefaultOptions()
+	opts.DisableFallback = true
+	res, err := Repair(h, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Degraded != 0 || res.Usable() {
+		t.Fatalf("failed=%d degraded=%d usable=%v, want one failed problem and nothing usable",
+			res.Failed, res.Degraded, res.Usable())
+	}
+}

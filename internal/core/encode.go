@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/arc"
+	"repro/internal/faultinject"
 	"repro/internal/harc"
 	"repro/internal/policy"
 	"repro/internal/smt/bv"
@@ -259,6 +260,17 @@ func (e *encoder) finalizeSofts() {
 func (e *encoder) encode(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if faultinject.Enabled() {
+		if err := faultinject.Eval(faultinject.CoreEncodeError); err != nil {
+			return err
+		}
+		// Slow-encode site: sleeps (or runs a test callback), then honors
+		// any cancellation that arrived while stalled.
+		faultinject.Eval(faultinject.CoreEncodeSlow)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	e.hierarchyConstraints()
 	for _, p := range e.policies {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arc"
+	"repro/internal/greedy"
 	"repro/internal/harc"
 	"repro/internal/policy"
 	"repro/internal/smt/maxsat"
@@ -57,6 +59,79 @@ func (o Objective) String() string {
 	return "min-lines"
 }
 
+// IsolationMode selects how per-destination sub-problem failures are
+// contained.
+type IsolationMode int
+
+// Isolation modes.
+const (
+	// IsolationOff is the legacy fail-fast fan-out: the first sub-problem
+	// error aborts every sibling and Repair returns that error.
+	IsolationOff IsolationMode = iota
+	// IsolationOn gives each per-destination sub-problem its own failure
+	// domain (PerDst granularity only): solver panics become typed
+	// SolveErrors, each attempt runs under a watchdog deadline derived
+	// from the request budget, transient Unknown verdicts retry with an
+	// escalating conflict budget, and exhausted sub-problems degrade to
+	// the greedy baseline (where the policy classes allow it) or are
+	// marked failed — while every other destination still returns a
+	// verified repair.
+	IsolationOn
+)
+
+func (m IsolationMode) String() string {
+	if m == IsolationOn {
+		return "on"
+	}
+	return "off"
+}
+
+// Outcome classifies one sub-problem's final disposition.
+type Outcome int
+
+// Sub-problem outcomes.
+const (
+	// OutcomeSolved: the MaxSMT solve found an optimal repair.
+	OutcomeSolved Outcome = iota
+	// OutcomeDegraded: the MaxSMT solve was exhausted, but the greedy
+	// baseline produced a repair for this sub-problem's policies that
+	// verified after construct realization.
+	OutcomeDegraded
+	// OutcomeFailed: no usable repair for this sub-problem
+	// (unsatisfiable, cancelled, or every attempt and fallback failed).
+	OutcomeFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeFailed:
+		return "failed"
+	}
+	return "solved"
+}
+
+// SolveError is a typed per-sub-problem failure under fault isolation:
+// a recovered solver panic, an encoding error, or a transient
+// exhaustion, tagged with the sub-problem and attempt it occurred on.
+type SolveError struct {
+	Label   string // sub-problem label (destination name, "pc4-merged", "all-tcs")
+	Phase   string // "encode" or "solve"
+	Attempt int    // 1-based attempt number
+	Panic   any    // recovered panic value when the failure was a panic
+	Err     error  // underlying error otherwise
+}
+
+func (e *SolveError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("core: problem %s attempt %d: panic during %s: %v", e.Label, e.Attempt, e.Phase, e.Panic)
+	}
+	return fmt.Sprintf("core: problem %s attempt %d: %s: %v", e.Label, e.Attempt, e.Phase, e.Err)
+}
+
+func (e *SolveError) Unwrap() error { return e.Err }
+
 // Options configures the repair engine.
 type Options struct {
 	Granularity Granularity
@@ -79,12 +154,33 @@ type Options struct {
 	WaypointWeight int
 	// ConflictBudget bounds each SAT call (0 = unlimited); exceeding it
 	// yields an Unknown problem status, CPR's analogue of the paper's
-	// 8-hour limit.
+	// 8-hour limit. Under isolation, retries escalate the budget.
 	ConflictBudget int64
+	// Isolation contains per-destination failures instead of aborting the
+	// whole batch; it applies to PerDst granularity only.
+	Isolation IsolationMode
+	// RetryAttempts bounds solve attempts per sub-problem under isolation
+	// (0 = default 3; 1 = no retry).
+	RetryAttempts int
+	// DstTimeout overrides the derived per-attempt watchdog deadline
+	// under isolation (0 = derive a fair share of the request deadline).
+	DstTimeout time.Duration
+	// DisableFallback turns off greedy degradation under isolation:
+	// exhausted sub-problems are marked failed instead.
+	DisableFallback bool
 }
 
+// defaultRetryAttempts is the per-sub-problem attempt bound under
+// isolation when Options.RetryAttempts is zero.
+const defaultRetryAttempts = 3
+
+// budgetEscalation multiplies the conflict budget on each isolated
+// retry, so a sub-problem that merely needed more search gets it before
+// the fallback fires.
+const budgetEscalation = 4
+
 // DefaultOptions returns the configuration used throughout the paper's
-// evaluation reproduction.
+// evaluation reproduction, with per-destination fault isolation on.
 func DefaultOptions() Options {
 	return Options{
 		Granularity:          PerDst,
@@ -94,6 +190,8 @@ func DefaultOptions() Options {
 		DistBits:             8,
 		AllowWaypointChanges: true,
 		WaypointWeight:       1,
+		Isolation:            IsolationOn,
+		RetryAttempts:        defaultRetryAttempts,
 	}
 }
 
@@ -106,20 +204,43 @@ type ProblemStat struct {
 	Softs      int
 	Violations int // violated softs = modeled configuration changes
 	Status     sat.Status
-	// Conflicts is the SAT solver's conflict count for this sub-problem.
+	// Outcome is the sub-problem's disposition: solved, degraded (greedy
+	// fallback), or failed.
+	Outcome Outcome
+	// Attempts is the number of solve attempts made (0 when the
+	// sub-problem was cancelled before starting).
+	Attempts int
+	// Fallback names the degradation provenance ("greedy") when Outcome
+	// is OutcomeDegraded.
+	Fallback string
+	// Err describes the terminal solver failure, when there was one. A
+	// degraded sub-problem keeps the error that forced the fallback.
+	Err string
+	// Conflicts is the SAT solver's conflict count for this sub-problem
+	// (summed across isolated attempts).
 	Conflicts int64
 	Duration  time.Duration
 }
 
 // Result is the outcome of a Repair call.
 type Result struct {
-	// State is the repaired HARC state (defined when Solved).
+	// State is the repaired HARC state. Under fault isolation it reflects
+	// every solved and degraded sub-problem even when some failed.
 	State *harc.State
 	// Changes is the total number of violated soft constraints across
-	// sub-problems: the modeled count of configuration changes.
+	// sub-problems: the modeled count of configuration changes. Degraded
+	// sub-problems contribute the greedy baseline's change count.
 	Changes int
 	// Solved reports that every sub-problem found an optimal repair.
 	Solved bool
+	// Degraded and Failed count sub-problems by outcome; Solved is false
+	// whenever either is nonzero.
+	Degraded int
+	Failed   int
+	// Repaired lists the policies covered by solved or degraded
+	// sub-problems: the subset of the specification guaranteed to hold on
+	// State. Callers verifying partial results check exactly these.
+	Repaired []policy.Policy
 	// Conflicts is the total SAT conflict count across sub-problems.
 	Conflicts int64
 	Stats     []ProblemStat
@@ -127,6 +248,55 @@ type Result struct {
 	// the individual sub-problem durations (the paper's serial baseline).
 	Duration   time.Duration
 	Sequential time.Duration
+}
+
+// Usable reports that at least one sub-problem produced a verified
+// repair (solved or degraded) — the partial-result analogue of Solved.
+func (r *Result) Usable() bool { return len(r.Repaired) > 0 }
+
+// problem is one MaxSMT sub-problem of the decomposition.
+type problem struct {
+	label    string
+	tcs      []topology.TrafficClass
+	policies []policy.Policy
+	freeze   bool
+	enc      *encoder
+	// greedyState is the realized fallback state for degraded problems
+	// (constructed by realizeGreedy, merged serially after the fan-out).
+	greedyState   *harc.State
+	greedyChanges int
+	stat          ProblemStat
+}
+
+// dsts returns the problem's unique destination subnets.
+func (pr *problem) dsts() []*topology.Subnet {
+	seen := map[string]bool{}
+	var out []*topology.Subnet
+	for _, tc := range pr.tcs {
+		if !seen[tc.Dst.Name] {
+			seen[tc.Dst.Name] = true
+			out = append(out, tc.Dst)
+		}
+	}
+	return out
+}
+
+func uniqueTCs(ps []policy.Policy) []topology.TrafficClass {
+	seen := map[string]bool{}
+	var out []topology.TrafficClass
+	add := func(tc topology.TrafficClass) {
+		if tc.Src != nil && tc.Dst != nil && !seen[tc.Key()] {
+			seen[tc.Key()] = true
+			out = append(out, tc)
+		}
+	}
+	for _, p := range ps {
+		add(p.TC)
+		if p.Kind == policy.Isolated {
+			add(p.TC2)
+		}
+	}
+	return out
 }
 
 // Repair computes a minimal repair of the network's HARC so that every
@@ -138,8 +308,11 @@ func Repair(h *harc.HARC, policies []policy.Policy, opts Options) (*Result, erro
 }
 
 // RepairCtx is Repair under a context. Cancelling ctx interrupts every
-// in-flight SAT solve (the CDCL search loop polls an interruption flag),
-// and RepairCtx returns ctx's error instead of a partial result.
+// in-flight SAT solve (the CDCL search loop polls an interruption flag).
+// Without isolation RepairCtx returns ctx's error instead of a partial
+// result; under isolation it returns the partial Result — completed
+// destinations keep their solved statuses, pending ones are marked
+// failed — alongside ctx's error.
 func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.CostBits == 0 {
@@ -155,33 +328,88 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 	out := orig.Clone()
 	res := &Result{State: out, Solved: true}
 
-	type problem struct {
-		label    string
-		tcs      []topology.TrafficClass
-		policies []policy.Policy
-		freeze   bool
-		enc      *encoder
-		stat     ProblemStat
+	problems, err := buildProblems(h, policies, opts)
+	if err != nil {
+		return nil, err
 	}
 
-	uniqueTCs := func(ps []policy.Policy) []topology.TrafficClass {
-		seen := map[string]bool{}
-		var out []topology.TrafficClass
-		add := func(tc topology.TrafficClass) {
-			if tc.Src != nil && tc.Dst != nil && !seen[tc.Key()] {
-				seen[tc.Key()] = true
-				out = append(out, tc)
-			}
+	// Isolation applies to the per-destination decomposition, whose
+	// sub-problems are naturally independent; the single all-tcs problem
+	// has no siblings to protect.
+	isolated := opts.Isolation == IsolationOn && opts.Granularity == PerDst
+	if isolated {
+		runIsolated(ctx, h, orig, problems, opts)
+	} else {
+		if err := runFailFast(ctx, h, orig, problems, opts); err != nil {
+			return nil, err
 		}
-		for _, p := range ps {
-			add(p.TC)
-			if p.Kind == policy.Isolated {
-				add(p.TC2)
-			}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		return out
 	}
 
+	// Serial merge: extract each usable sub-problem's model (or realized
+	// fallback state) into the shared repaired state.
+	solvedDsts := map[string]bool{}
+	solvedTCs := map[string]bool{}
+	for _, pr := range problems {
+		res.Sequential += pr.stat.Duration
+		res.Conflicts += pr.stat.Conflicts
+		switch pr.stat.Outcome {
+		case OutcomeSolved:
+			res.Changes += pr.stat.Violations
+			pr.enc.extract(out)
+		case OutcomeDegraded:
+			res.Changes += pr.greedyChanges
+			res.Degraded++
+			res.Solved = false
+			mergeRealized(h, orig, out, pr)
+		case OutcomeFailed:
+			res.Failed++
+			res.Solved = false
+			res.Stats = append(res.Stats, pr.stat)
+			continue
+		}
+		res.Stats = append(res.Stats, pr.stat)
+		for _, d := range pr.dsts() {
+			solvedDsts[d.Name] = true
+		}
+		for _, tc := range pr.tcs {
+			solvedTCs[tc.Key()] = true
+		}
+		res.Repaired = append(res.Repaired, pr.policies...)
+	}
+	sort.Slice(res.Stats, func(i, j int) bool { return res.Stats[i].Label < res.Stats[j].Label })
+
+	// Policies outside every sub-problem were already satisfied (their
+	// destination group had no violations) and per-destination repairs
+	// leave their state untouched, so they remain covered by the result.
+	if len(res.Repaired) > 0 || len(problems) == 0 {
+		inProblem := map[string]bool{}
+		for _, pr := range problems {
+			for _, p := range pr.policies {
+				inProblem[p.String()] = true
+			}
+		}
+		for _, p := range policies {
+			if !inProblem[p.String()] {
+				res.Repaired = append(res.Repaired, p)
+			}
+		}
+	}
+
+	applyFollowRules(h, orig, out, solvedDsts, solvedTCs)
+	res.Duration = time.Since(start)
+	if isolated {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// buildProblems decomposes the specification per Options.Granularity.
+func buildProblems(h *harc.HARC, policies []policy.Policy, opts Options) ([]*problem, error) {
 	var problems []*problem
 	switch opts.Granularity {
 	case AllTCs:
@@ -239,8 +467,17 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 	default:
 		return nil, fmt.Errorf("core: unknown granularity %d", opts.Granularity)
 	}
+	for _, pr := range problems {
+		pr.stat.Label = pr.label
+		pr.stat.TCs = len(pr.tcs)
+		pr.stat.Policies = len(pr.policies)
+	}
+	return problems, nil
+}
 
-	// Build and solve each problem (in parallel for per-dst).
+// runFailFast is the legacy fan-out: build and solve each problem (in
+// parallel for per-dst); the first error aborts the batch.
+func runFailFast(ctx context.Context, h *harc.HARC, orig *harc.State, problems []*problem, opts Options) error {
 	workers := opts.Parallelism
 	if workers < 1 {
 		workers = 1
@@ -272,51 +509,375 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 			}
 			cost, status := enc.solve(ctx)
 			pr.enc = enc
-			pr.stat = ProblemStat{
-				Label:      pr.label,
-				TCs:        len(pr.tcs),
-				Policies:   len(pr.policies),
-				Vars:       enc.s.NumVars(),
-				Softs:      len(enc.softs),
-				Violations: cost,
-				Status:     status,
-				Conflicts:  enc.s.Conflicts,
-				Duration:   time.Since(t0),
+			pr.stat.Vars = enc.s.NumVars()
+			pr.stat.Softs = len(enc.softs)
+			pr.stat.Violations = cost
+			pr.stat.Status = status
+			pr.stat.Attempts = 1
+			pr.stat.Conflicts = enc.s.Conflicts
+			pr.stat.Duration = time.Since(t0)
+			if status != sat.Sat {
+				pr.stat.Outcome = OutcomeFailed
+				pr.stat.Err = "status " + status.String()
 			}
 		}(pr)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	return firstErr
+}
 
-	solvedDsts := map[string]bool{}
-	solvedTCs := map[string]bool{}
+// runIsolated is the fault-isolated fan-out: a fixed worker pool drains
+// the problem list in order (deterministic under Parallelism 1), and
+// every problem resolves to solved, degraded, or failed — never to an
+// aborted batch.
+func runIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, problems []*problem, opts Options) {
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	attempts := opts.RetryAttempts
+	if attempts < 1 {
+		attempts = defaultRetryAttempts
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(problems)))
+	queue := make(chan *problem, len(problems))
 	for _, pr := range problems {
-		res.Stats = append(res.Stats, pr.stat)
-		res.Sequential += pr.stat.Duration
-		res.Conflicts += pr.stat.Conflicts
-		if pr.stat.Status != sat.Sat {
-			res.Solved = false
+		queue <- pr
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pr := range queue {
+				solveIsolated(ctx, h, orig, pr, opts, attempts, workers, &pending)
+				pending.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// solveIsolated drives one sub-problem to a terminal outcome.
+func solveIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, pr *problem, opts Options, attempts, workers int, pending *atomic.Int64) {
+	t0 := time.Now()
+	defer func() { pr.stat.Duration = time.Since(t0) }()
+
+	budget := opts.ConflictBudget
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			pr.stat.Outcome = OutcomeFailed
+			pr.stat.Err = "cancelled: " + err.Error()
+			return
+		}
+		pr.stat.Attempts = attempt
+		wctx, cancel := watchdogCtx(ctx, opts, workers, pending)
+		enc, cost, status, err := solveOnce(wctx, h, orig, pr, budget, opts, attempt)
+		cancel()
+		if enc != nil {
+			pr.enc = enc
+			pr.stat.Vars = enc.s.NumVars()
+			pr.stat.Softs = len(enc.softs)
+			pr.stat.Conflicts += enc.s.Conflicts
+		}
+		pr.stat.Status = status
+		if err == nil {
+			switch status {
+			case sat.Sat:
+				pr.stat.Outcome = OutcomeSolved
+				pr.stat.Violations = cost
+				return
+			case sat.Unsat:
+				// Deterministic: no retry, and no fallback either — the
+				// greedy baseline cannot satisfy an unsatisfiable group.
+				pr.stat.Outcome = OutcomeFailed
+				pr.stat.Err = "unsatisfiable"
+				return
+			}
+			// Unknown: watchdog expiry, a spurious interrupt, or budget
+			// exhaustion — transient either way; retry with more budget.
+			lastErr = &SolveError{Label: pr.label, Phase: "solve", Attempt: attempt,
+				Err: fmt.Errorf("solver returned unknown (budget %d)", budget)}
+		} else {
+			lastErr = err
+		}
+		if ctx.Err() != nil {
+			pr.stat.Outcome = OutcomeFailed
+			pr.stat.Err = "cancelled: " + ctx.Err().Error()
+			return
+		}
+		if budget > 0 {
+			budget *= budgetEscalation
+		}
+	}
+	degrade(h, orig, pr, opts, lastErr)
+}
+
+// solveOnce builds a fresh encoder and solver and runs one attempt.
+// Panics anywhere in encoding or search are recovered into SolveErrors,
+// so a pathological destination cannot kill the process or its sibling
+// solves.
+func solveOnce(ctx context.Context, h *harc.HARC, orig *harc.State, pr *problem, budget int64, opts Options, attempt int) (enc *encoder, cost int, status sat.Status, err error) {
+	phase := "encode"
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SolveError{Label: pr.label, Phase: phase, Attempt: attempt, Panic: r}
+			status = sat.Unknown
+		}
+	}()
+	o := opts
+	o.ConflictBudget = budget
+	enc = newEncoder(h, orig, pr.tcs, pr.policies, pr.freeze, o)
+	if eerr := enc.encode(ctx); eerr != nil {
+		return enc, 0, sat.Unknown, &SolveError{Label: pr.label, Phase: "encode", Attempt: attempt, Err: eerr}
+	}
+	phase = "solve"
+	cost, status = enc.solve(ctx)
+	return enc, cost, status, nil
+}
+
+// watchdogCtx derives one attempt's deadline: an explicit DstTimeout if
+// configured, otherwise a fair share of the request's remaining budget
+// (remaining time divided by the number of solve waves left). Without
+// any deadline the parent context is used as-is, so the common
+// no-deadline path allocates nothing.
+func watchdogCtx(ctx context.Context, opts Options, workers int, pending *atomic.Int64) (context.Context, context.CancelFunc) {
+	if opts.DstTimeout > 0 {
+		return context.WithTimeout(ctx, opts.DstTimeout)
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return ctx, func() {}
+	}
+	p := pending.Load()
+	if p < 1 {
+		p = 1
+	}
+	waves := (p + int64(workers) - 1) / int64(workers)
+	return context.WithTimeout(ctx, remaining/time.Duration(waves))
+}
+
+// degrade resolves an exhausted sub-problem: greedy fallback when the
+// policy classes support it and the realized repair verifies, failed
+// otherwise.
+func degrade(h *harc.HARC, orig *harc.State, pr *problem, opts Options, lastErr error) {
+	pr.stat.Outcome = OutcomeFailed
+	if lastErr != nil {
+		pr.stat.Err = lastErr.Error()
+	}
+	if opts.DisableFallback || !greedyEligible(pr.policies) {
+		return
+	}
+	gres, err := greedy.Repair(h, pr.policies)
+	if err != nil || !gres.Clean {
+		return
+	}
+	realized, changes, ok := realizeGreedy(h, orig, pr, gres)
+	if !ok {
+		return
+	}
+	pr.greedyState = realized
+	pr.greedyChanges = changes
+	pr.stat.Outcome = OutcomeDegraded
+	pr.stat.Fallback = "greedy"
+}
+
+// greedyEligible reports whether every policy in the group belongs to a
+// class the greedy baseline can repair (PC1-PC3; PC4 and isolation are
+// out of its scope).
+func greedyEligible(ps []policy.Policy) bool {
+	for _, p := range ps {
+		switch p.Kind {
+		case policy.AlwaysBlocked, policy.AlwaysWaypoint, policy.KReachable:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// realizeGreedy translates a clean greedy repair into per-destination
+// constructs (static routes for added inter-device dETG edges, route-
+// filter removals for intra and dest edges) and recomputes the presence
+// those constructs imply on a private trial state. Construct edits can
+// open edges the greedy state never asked for — clearing one route
+// filter unblocks every edge it gated — so the fallback is accepted only
+// if the realized state still satisfies the sub-problem's policies.
+func realizeGreedy(h *harc.HARC, orig *harc.State, pr *problem, gres *greedy.Result) (*harc.State, int, bool) {
+	gst := gres.State
+	trial := orig.Clone()
+	dsts := pr.dsts()
+	for _, dst := range dsts {
+		gdm, odm := gst.Dst[dst.Name], orig.Dst[dst.Name]
+		for _, s := range h.Slots {
+			if !applicableDst(s, dst) {
+				continue
+			}
+			key := s.Key()
+			if gdm[key] == odm[key] || !gdm[key] {
+				continue // greedy repairs only add dETG edges
+			}
+			switch s.Kind {
+			case arc.SlotInterDevice:
+				trial.Static[harc.StaticKey(dst.Name, key)] = true
+			case arc.SlotIntraSelf, arc.SlotDest:
+				trial.RouteFilter[harc.RFKey(dst.Name, s.FromProc.Name())] = false
+			case arc.SlotIntraRedist:
+				// Per-dst repairs freeze the aETG: an absent
+				// redistribution adjacency cannot be recreated by any
+				// per-destination construct.
+				if !orig.All[key] {
+					return nil, 0, false
+				}
+				trial.RouteFilter[harc.RFKey(dst.Name, s.FromProc.Name())] = false
+				trial.RouteFilter[harc.RFKey(dst.Name, s.ToProc.Name())] = false
+			}
+		}
+	}
+	for link, v := range gst.Waypoint {
+		if v {
+			trial.Waypoint[link] = true
+		}
+	}
+	for _, dst := range dsts {
+		realizeDstPresence(h, orig, trial, dst)
+	}
+	for _, tc := range pr.tcs {
+		realizeTCPresence(h, orig, trial, gst, tc)
+	}
+	for _, p := range pr.policies {
+		if !policy.CheckState(h, trial, p) {
+			return nil, 0, false
+		}
+	}
+	return trial, gres.Changes, true
+}
+
+// impliedDst evaluates a destination-level edge's presence from the
+// construct maps in st (mirroring the encoder's hierarchy constraints).
+func impliedDst(st *harc.State, dst string, s *arc.Slot, staticProcs map[string]bool) bool {
+	rf := func(proc string) bool { return st.RouteFilter[harc.RFKey(dst, proc)] }
+	switch s.Kind {
+	case arc.SlotIntraSelf:
+		return !rf(s.FromProc.Name()) || staticProcs[s.FromProc.Name()]
+	case arc.SlotIntraRedist:
+		return (st.All[s.Key()] && !rf(s.FromProc.Name()) && !rf(s.ToProc.Name())) ||
+			staticProcs[s.FromProc.Name()]
+	case arc.SlotInterDevice:
+		return (st.All[s.Key()] && !rf(s.ToProc.Name())) || st.Static[harc.StaticKey(dst, s.Key())]
+	case arc.SlotDest:
+		return !rf(s.FromProc.Name())
+	}
+	return false
+}
+
+// realizeDstPresence updates trial's dETG presence for dst wherever the
+// construct edits changed an edge's implied value. Only slots whose
+// implication flipped relative to the original constructs are touched,
+// so untouched edges keep their observed (config-derived) presence.
+func realizeDstPresence(h *harc.HARC, orig, trial *harc.State, dst *topology.Subnet) {
+	origStatics := staticProcsOf(h, orig, dst.Name)
+	trialStatics := staticProcsOf(h, trial, dst.Name)
+	dm := trial.Dst[dst.Name]
+	for _, s := range h.Slots {
+		if !applicableDst(s, dst) {
 			continue
 		}
-		res.Changes += pr.stat.Violations
-		pr.enc.extract(out)
-		for _, d := range pr.enc.dsts {
-			solvedDsts[d.Name] = true
-		}
-		for _, tc := range pr.tcs {
-			solvedTCs[tc.Key()] = true
+		oldv := impliedDst(orig, dst.Name, s, origStatics)
+		newv := impliedDst(trial, dst.Name, s, trialStatics)
+		if oldv != newv {
+			dm[s.Key()] = newv
 		}
 	}
-	sort.Slice(res.Stats, func(i, j int) bool { return res.Stats[i].Label < res.Stats[j].Label })
+}
 
-	applyFollowRules(h, orig, out, solvedDsts, solvedTCs)
-	res.Duration = time.Since(start)
-	return res, nil
+// staticProcsOf collects the processes that own a static route for dst.
+func staticProcsOf(h *harc.HARC, st *harc.State, dst string) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range h.Slots {
+		if s.Kind == arc.SlotInterDevice && st.Static[harc.StaticKey(dst, s.Key())] {
+			out[s.FromProc.Name()] = true
+		}
+	}
+	return out
+}
+
+// realizeTCPresence aligns trial's tc-level presence with the realized
+// dETG: intra edges follow the parent exactly (no ACL can act inside a
+// device), ACL-capable edges keep the greedy deviation where it deviated
+// and follow the parent where it was aligned.
+func realizeTCPresence(h *harc.HARC, orig, trial, gst *harc.State, tc topology.TrafficClass) {
+	m := trial.TC[tc.Key()]
+	gm := gst.TC[tc.Key()]
+	gdm := gst.Dst[tc.Dst.Name]
+	dm := trial.Dst[tc.Dst.Name]
+	for _, s := range h.Slots {
+		if !applicableTC(s, tc) {
+			continue
+		}
+		key := s.Key()
+		switch s.Kind {
+		case arc.SlotSource:
+			// No dETG parent; a source edge still needs the gateway to
+			// have a route (no route filter on the receiving process).
+			v := gm[key]
+			if trial.RouteFilter[harc.RFKey(tc.Dst.Name, s.ToProc.Name())] {
+				v = false
+			}
+			m[key] = v
+		case arc.SlotIntraSelf, arc.SlotIntraRedist:
+			m[key] = dm[key]
+		default:
+			if gm[key] == gdm[key] {
+				m[key] = dm[key] // aligned child follows the realized parent
+			} else {
+				m[key] = gm[key] && dm[key] // deviation (ACL) is preserved
+			}
+		}
+	}
+}
+
+// mergeRealized copies a degraded problem's realized state into the
+// shared repaired state: its destinations' dETG maps, its traffic
+// classes' maps, the per-destination construct entries (all keyed by
+// destination name), and any added waypoints.
+func mergeRealized(h *harc.HARC, orig, out *harc.State, pr *problem) {
+	trial := pr.greedyState
+	for _, dst := range pr.dsts() {
+		dm, tdm := out.Dst[dst.Name], trial.Dst[dst.Name]
+		for key, v := range tdm {
+			dm[key] = v
+		}
+		prefix := dst.Name + "|"
+		for key, v := range trial.RouteFilter {
+			if len(key) > len(prefix) && key[:len(prefix)] == prefix && v != orig.RouteFilter[key] {
+				out.RouteFilter[key] = v
+			}
+		}
+		for key, v := range trial.Static {
+			if len(key) > len(prefix) && key[:len(prefix)] == prefix && v != orig.Static[key] {
+				out.Static[key] = v
+			}
+		}
+	}
+	for _, tc := range pr.tcs {
+		m, tm := out.TC[tc.Key()], trial.TC[tc.Key()]
+		for key, v := range tm {
+			m[key] = v
+		}
+	}
+	for link, v := range trial.Waypoint {
+		if v {
+			out.Waypoint[link] = true
+		}
+	}
 }
 
 // applyFollowRules propagates repaired parent levels to unsolved child

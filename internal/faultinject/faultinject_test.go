@@ -1,0 +1,193 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() = true with nothing armed")
+	}
+	if err := Eval(SATSolvePanic); err != nil {
+		t.Fatalf("Eval on disarmed registry = %v", err)
+	}
+}
+
+func TestErrorKindAndCount(t *testing.T) {
+	defer Reset()
+	if err := Set(CoreEncodeError, "2*error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Set")
+	}
+	before := FiredCount(CoreEncodeError)
+	for i := 0; i < 2; i++ {
+		if err := Eval(CoreEncodeError); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	// Count exhausted: the site is disarmed but still registered.
+	if err := Eval(CoreEncodeError); err != nil {
+		t.Fatalf("exhausted failpoint fired: %v", err)
+	}
+	if got := FiredCount(CoreEncodeError) - before; got != 2 {
+		t.Fatalf("FiredCount delta = %d, want 2", got)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Reset()
+	if err := Set(SATSolvePanic, "1*panic"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			p, ok := r.(*Panic)
+			if !ok {
+				t.Fatalf("recovered %v (%T), want *Panic", r, r)
+			}
+			if p.Site != SATSolvePanic {
+				t.Fatalf("panic site = %q", p.Site)
+			}
+		}()
+		Eval(SATSolvePanic)
+		t.Fatal("Eval did not panic")
+	}()
+	if err := Eval(SATSolvePanic); err != nil {
+		t.Fatalf("second Eval after 1*panic: %v", err)
+	}
+}
+
+func TestSleepKind(t *testing.T) {
+	defer Reset()
+	if err := Set(CoreEncodeSlow, "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := Eval(CoreEncodeSlow); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("sleep failpoint returned after %v, want ≥ 30ms", d)
+	}
+}
+
+func TestCallback(t *testing.T) {
+	defer Reset()
+	calls := 0
+	SetCallback(CoreEncodeSlow, func() error {
+		calls++
+		if calls == 1 {
+			return ErrInjected
+		}
+		return nil
+	})
+	if err := Eval(CoreEncodeSlow); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first callback = %v", err)
+	}
+	if err := Eval(CoreEncodeSlow); err != nil {
+		t.Fatalf("second callback = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	defer Reset()
+	if err := Set(SATBudgetStarve, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Set(SATSpuriousInterrupt, "error"); err != nil {
+		t.Fatal(err)
+	}
+	Clear(SATBudgetStarve)
+	if err := Eval(SATBudgetStarve); err != nil {
+		t.Fatalf("cleared site fired: %v", err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() = false with one site still armed")
+	}
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() = true after Reset")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"", "explode", "0*panic", "-1*error", "sleep(", "sleep(xyz)", "sleep(-1s)"} {
+		if err := Set(SATSolvePanic, spec); err == nil {
+			t.Errorf("Set(%q) accepted", spec)
+		}
+	}
+}
+
+func TestFromEnvSpec(t *testing.T) {
+	defer Reset()
+	if err := fromSpec("sat/budget-starve=1*error; core/encode-slow=sleep(1ms)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval(SATBudgetStarve); !errors.Is(err, ErrInjected) {
+		t.Fatalf("env-armed site = %v", err)
+	}
+	if err := fromSpec("no/such-site=error"); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := fromSpec("garbage"); err == nil {
+		t.Error("malformed pair accepted")
+	}
+	if err := fromSpec(""); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+}
+
+func TestConcurrentEval(t *testing.T) {
+	defer Reset()
+	if err := Set(CoreEncodeError, "100*error"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var hits atomic64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if Eval(CoreEncodeError) != nil {
+					hits.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := hits.load(); got != 100 {
+		t.Fatalf("fired %d times across goroutines, want exactly 100", got)
+	}
+}
+
+// atomic64 is a tiny test-local counter (avoids importing sync/atomic's
+// verbose call sites in the loop above).
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+func BenchmarkEvalDisabled(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Eval(SATSolvePanic) != nil {
+			b.Fatal("fired")
+		}
+	}
+}

@@ -1,10 +1,11 @@
-package greedy
+package greedy_test
 
 import (
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/generate"
+	"repro/internal/greedy"
 	"repro/internal/harc"
 	"repro/internal/policy"
 	"repro/internal/topology"
@@ -18,7 +19,7 @@ func TestGreedyPC1(t *testing.T) {
 	n := topology.Figure2a()
 	h := harc.Build(n)
 	p := policy.Policy{Kind: policy.AlwaysBlocked, TC: tcOf(n, "S", "T")}
-	res, err := Repair(h, []policy.Policy{p})
+	res, err := greedy.Repair(h, []policy.Policy{p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestGreedyPC2(t *testing.T) {
 	n.Link("B", "C").Waypoint = false // break EP2
 	h := harc.Build(n)
 	p := policy.Policy{Kind: policy.AlwaysWaypoint, TC: tcOf(n, "S", "T")}
-	res, err := Repair(h, []policy.Policy{p})
+	res, err := greedy.Repair(h, []policy.Policy{p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestGreedyPC3(t *testing.T) {
 	n := topology.Figure2a()
 	h := harc.Build(n)
 	p := policy.Policy{Kind: policy.KReachable, K: 2, TC: tcOf(n, "S", "T")}
-	res, err := Repair(h, []policy.Policy{p})
+	res, err := greedy.Repair(h, []policy.Policy{p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestGreedyPC4Unsupported(t *testing.T) {
 	n.Device("A").Interface("Ethernet0/1").Cost = 9 // break EP4 somehow irrelevant
 	h := harc.Build(n)
 	p := policy.Policy{Kind: policy.PrimaryPath, Path: []string{"A", "C"}, TC: tcOf(n, "R", "T")}
-	if _, err := Repair(h, []policy.Policy{p}); err == nil {
+	if _, err := greedy.Repair(h, []policy.Policy{p}); err == nil {
 		t.Error("PC4 should be unsupported by the greedy baseline")
 	}
 }
@@ -88,7 +89,7 @@ func TestGreedyCrossPolicyBreakage(t *testing.T) {
 		{Kind: policy.KReachable, K: 2, TC: tcOf(n, "S", "T")}, // EP3 (violated)
 		{Kind: policy.AlwaysBlocked, TC: tcOf(n, "S", "U")},    // EP1 (holds)
 	}
-	res, err := Repair(h, ps)
+	res, err := greedy.Repair(h, ps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestGreedySatisfiedSpecIsNoOp(t *testing.T) {
 		{Kind: policy.AlwaysBlocked, TC: tcOf(n, "S", "U")},
 		{Kind: policy.AlwaysWaypoint, TC: tcOf(n, "S", "T")},
 	}
-	res, err := Repair(h, ps)
+	res, err := greedy.Repair(h, ps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestGreedyImpossiblePC3(t *testing.T) {
 	n := topology.Figure2a()
 	h := harc.Build(n)
 	p := policy.Policy{Kind: policy.KReachable, K: 3, TC: tcOf(n, "S", "T")}
-	if _, err := Repair(h, []policy.Policy{p}); err == nil {
+	if _, err := greedy.Repair(h, []policy.Policy{p}); err == nil {
 		t.Error("impossible PC3 should error")
 	}
 }
@@ -157,7 +158,7 @@ func TestGreedyNeverBeatsOptimal(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		h := inst.Harc()
-		g, err := Repair(h, inst.Policies)
+		g, err := greedy.Repair(h, inst.Policies)
 		if err != nil {
 			t.Fatalf("seed %d: greedy: %v", seed, err)
 		}

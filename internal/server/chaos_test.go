@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faultinject"
+)
+
+// TestChaosDaemonSurvivesInjectedFaults drives a live daemon through
+// the server-side failpoints: a cache build failure must surface as a
+// clean 400 (not a crash or a poisoned cache entry), a starved solver
+// must yield a degraded-but-usable repair response with accurate
+// per-destination outcomes and /statsz counters, and /healthz must stay
+// up throughout.
+func TestChaosDaemonSurvivesInjectedFaults(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	defer faultinject.Reset()
+
+	// One injected load failure: the first load 400s, the retry succeeds
+	// (the failed build must not be cached as a session).
+	if err := faultinject.Set(faultinject.ServerCacheLoadError, "1*error"); err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	if st := postJSON(t, ts, "/v1/load", LoadRequest{Configs: config.Figure2aConfigs()}, &er); st != http.StatusBadRequest {
+		t.Fatalf("injected load: status = %d, want 400", st)
+	}
+	if faultinject.FiredCount(faultinject.ServerCacheLoadError) != 1 {
+		t.Fatal("cache failpoint did not fire")
+	}
+	var hz Healthz
+	if st := getJSON(t, ts, "/healthz", &hz); st != http.StatusOK || !hz.OK {
+		t.Fatalf("healthz after injected load failure = %d %+v", st, hz)
+	}
+	lr := loadFigure2a(t, ts)
+	if lr.Cached {
+		t.Error("recovered load claims cached — the failed build leaked into the cache")
+	}
+
+	// Permanently starved solver: the PC3-only repair must degrade to the
+	// greedy baseline, and the response must say so per destination.
+	if err := faultinject.Set(faultinject.SATBudgetStarve, "error"); err != nil {
+		t.Fatal(err)
+	}
+	var rr RepairResponse
+	if st := postJSON(t, ts, "/v1/repair", RepairRequest{
+		Session: lr.Session, Policies: "reachable S T 2\n",
+	}, &rr); st != http.StatusOK {
+		t.Fatalf("degraded repair: status = %d, want 200", st)
+	}
+	if rr.Solved || rr.Degraded != 1 || rr.Failed != 0 {
+		t.Fatalf("degraded repair = solved=%v degraded=%d failed=%d, want one degraded destination",
+			rr.Solved, rr.Degraded, rr.Failed)
+	}
+	if len(rr.PatchedConfigs) == 0 || rr.Plan == "" {
+		t.Error("degraded repair produced no patch")
+	}
+	found := false
+	for _, pr := range rr.Problems {
+		if pr.Outcome == "degraded" {
+			found = true
+			if pr.Fallback != "greedy" || pr.Attempts < 2 || pr.Error == "" {
+				t.Errorf("degraded problem = %+v, want greedy fallback after retries with an error", pr)
+			}
+		}
+	}
+	if !found {
+		t.Error("no problem reported outcome=degraded")
+	}
+
+	// With injection cleared, the same session must fully solve, and the
+	// /statsz outcome counters must reflect both repairs.
+	faultinject.Reset()
+	if st := postJSON(t, ts, "/v1/repair", RepairRequest{
+		Session: lr.Session, Policies: "reachable S T 2\n",
+	}, &rr); st != http.StatusOK || !rr.Solved {
+		t.Fatalf("post-chaos repair = %d solved=%v, want a clean solve", st, rr.Solved)
+	}
+	sz := srv.stats.snapshot(srv.cache.len())
+	if sz.Destinations.Degraded != 1 || sz.Destinations.Solved != 1 || sz.Destinations.Failed != 0 {
+		t.Errorf("statsz destinations = %+v, want solved=1 degraded=1 failed=0", sz.Destinations)
+	}
+	if st := getJSON(t, ts, "/healthz", &hz); st != http.StatusOK || !hz.OK {
+		t.Fatalf("healthz after chaos = %d %+v", st, hz)
+	}
+}

@@ -25,6 +25,17 @@ func newWorkerPool(workers, queueDepth int) *workerPool {
 	}
 }
 
+// waiting reports how many admitted solves are queued but not yet
+// running (an instantaneous estimate — both channel reads race with
+// admissions, which is fine for a Retry-After hint).
+func (p *workerPool) waiting() int {
+	w := len(p.tickets) - len(p.slots)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
 // do runs fn on a worker slot. It returns errSaturated if the pool
 // cannot admit more work, or ctx's error if the deadline expires while
 // queued. fn runs on the caller's goroutine — do only gates entry.

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postRaw posts a raw (possibly malformed) body and returns the status
+// and decoded error, for tests that exercise the JSON decoding layer
+// itself.
+func postRaw(t *testing.T, url, path, body string) (int, errorResponse) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er errorResponse
+	_ = json.NewDecoder(resp.Body).Decode(&er)
+	return resp.StatusCode, er
+}
+
+func TestDecodeRejectsUnknownField(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	lr := loadFigure2a(t, ts)
+
+	// Top-level typo.
+	st, er := postRaw(t, ts.URL, "/v1/repair",
+		`{"session":"`+lr.Session+`","polcies":"always-blocked S U\n"}`)
+	if st != http.StatusBadRequest {
+		t.Fatalf("top-level unknown field: status = %d, want 400", st)
+	}
+	if !strings.Contains(er.Error, "polcies") {
+		t.Errorf("error = %q, want it to name the unknown field", er.Error)
+	}
+
+	// Nested typo inside options — the field the issue report cites.
+	st, er = postRaw(t, ts.URL, "/v1/repair",
+		`{"session":"`+lr.Session+`","options":{"granularty":"all-tcs"}}`)
+	if st != http.StatusBadRequest {
+		t.Fatalf("nested unknown field: status = %d, want 400", st)
+	}
+	if !strings.Contains(er.Error, "granularty") {
+		t.Errorf("error = %q, want it to name the nested unknown field", er.Error)
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	st, er := postRaw(t, ts.URL, "/v1/verify",
+		`{"session":"x"} {"session":"y"}`)
+	if st != http.StatusBadRequest {
+		t.Fatalf("trailing object: status = %d, want 400", st)
+	}
+	if !strings.Contains(er.Error, "unexpected data") {
+		t.Errorf("error = %q, want a trailing-data message", er.Error)
+	}
+
+	st, _ = postRaw(t, ts.URL, "/v1/load", `{"configs":{"A":"hostname A\n"}} garbage`)
+	if st != http.StatusBadRequest {
+		t.Fatalf("trailing token: status = %d, want 400", st)
+	}
+}
+
+func TestRetryAfterSecondsDerivation(t *testing.T) {
+	st := newStats()
+
+	// No observations yet: the 1s default applies. One queued request on
+	// one worker → 2 waves of ~1s each... but the hint is for when one
+	// slot frees: ceil((1+1)*1000/1/1000) = 2.
+	if got := st.retryAfterSeconds(1, 1); got != 2 {
+		t.Errorf("empty histogram, waiting=1 workers=1: retry = %d, want 2", got)
+	}
+	// Fast solves observed: p50 collapses to the lowest bucket and the
+	// hint clamps at the 1-second floor.
+	for i := 0; i < 10; i++ {
+		st.observeLatency("/v1/repair", 500*time.Microsecond)
+	}
+	if got := st.retryAfterSeconds(4, 2); got != 1 {
+		t.Errorf("fast p50: retry = %d, want the 1s floor", got)
+	}
+	// Slow solves dominate: p50 lands in the 5000ms bucket; deep queue on
+	// one worker must clamp at the 30s ceiling.
+	for i := 0; i < 30; i++ {
+		st.observeLatency("/v1/repair", 4*time.Second)
+	}
+	if got := st.retryAfterSeconds(20, 1); got != 30 {
+		t.Errorf("slow p50, deep queue: retry = %d, want the 30s ceiling", got)
+	}
+	// Midrange: p50 5000ms, 1 waiting, 4 workers → ceil(2*5000/4/1000) = 3.
+	if got := st.retryAfterSeconds(1, 4); got != 3 {
+		t.Errorf("midrange: retry = %d, want 3", got)
+	}
+}
+
+func TestRetryAfterHeaderComputedFromLoad(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	lr := loadFigure2a(t, ts)
+
+	// Seed the /v1/repair histogram with slow observations so the header
+	// must exceed the old hardcoded "1".
+	for i := 0; i < 10; i++ {
+		srv.stats.observeLatency("/v1/repair", 2*time.Second)
+	}
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go func() {
+		_ = srv.pool.do(context.Background(), func() {
+			close(running)
+			<-block
+		})
+	}()
+	<-running
+	defer close(block)
+
+	body, _ := json.Marshal(RepairRequest{Session: lr.Session, Policies: figure2aSpec})
+	resp, err := http.Post(ts.URL+"/v1/repair", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want an integer", ra)
+	}
+	// p50 is the 5000ms bucket bound, 0 waiting, 1 worker → 5s.
+	if secs < 2 || secs > 30 {
+		t.Errorf("Retry-After = %d, want a load-derived value in [2, 30]", secs)
+	}
+}

@@ -25,9 +25,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	cpr "repro"
+	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Config tunes the daemon; zero values select the documented defaults.
@@ -132,6 +135,13 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
+	// One JSON value per request: trailing garbage (a second object, a
+	// stray token) means the client composed the body wrong, and the part
+	// we did decode may not mean what they think.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "bad request body: unexpected data after JSON value")
+		return false
+	}
 	return true
 }
 
@@ -197,6 +207,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	key := SessionKey(req.Configs)
 	sys, how, err := s.cache.getOrLoad(key, func() (*cpr.System, error) {
+		if err := faultinject.Eval(faultinject.ServerCacheLoadError); err != nil {
+			return nil, err
+		}
 		return cpr.Load(req.Configs)
 	})
 	if err != nil {
@@ -313,8 +326,19 @@ type RepairRequest struct {
 
 // RepairProblem is one MaxSMT sub-problem's outcome in a RepairResponse.
 type RepairProblem struct {
-	Label      string  `json:"label"`
-	Status     string  `json:"status"`
+	Label  string `json:"label"`
+	Status string `json:"status"`
+	// Outcome is the sub-problem's disposition under fault isolation:
+	// "solved", "degraded" (greedy fallback), or "failed".
+	Outcome string `json:"outcome"`
+	// Attempts counts solve attempts (retries included; 0 = cancelled
+	// before starting).
+	Attempts int `json:"attempts"`
+	// Fallback names the degradation provenance ("greedy") when the
+	// outcome is degraded.
+	Fallback string `json:"fallback,omitempty"`
+	// Error describes the terminal solver failure, when there was one.
+	Error      string  `json:"error,omitempty"`
 	TCs        int     `json:"traffic_classes"`
 	Policies   int     `json:"policies"`
 	Vars       int     `json:"vars"`
@@ -326,7 +350,13 @@ type RepairProblem struct {
 
 // RepairResponse is the POST /v1/repair reply.
 type RepairResponse struct {
-	Solved         bool              `json:"solved"`
+	Solved bool `json:"solved"`
+	// Degraded and Failed count per-destination sub-problems that fell
+	// back to the greedy baseline or produced no repair; Solved is false
+	// whenever either is nonzero, but the plan still patches every
+	// solved and degraded destination.
+	Degraded       int               `json:"degraded"`
+	Failed         int               `json:"failed"`
 	Changes        int               `json:"changes"`
 	Lines          int               `json:"lines"`
 	Plan           string            `json:"plan"`
@@ -374,7 +404,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if perr != nil {
 		if errors.Is(perr, errSaturated) {
 			s.stats.solveRejected()
-			w.Header().Set("Retry-After", "1")
+			// Hint when a slot should actually free up: queue depth times
+			// the median solve latency, spread across the workers.
+			retry := s.stats.retryAfterSeconds(s.pool.waiting(), s.cfg.Workers)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
 			writeError(w, http.StatusTooManyRequests, "repair queue full (workers=%d queue=%d)", s.cfg.Workers, s.cfg.QueueDepth)
 			return
 		}
@@ -395,6 +428,8 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 
 	resp := RepairResponse{
 		Solved:         out.Solved(),
+		Degraded:       out.Result.Degraded,
+		Failed:         out.Result.Failed,
 		Changes:        out.Result.Changes,
 		Conflicts:      out.Result.Conflicts,
 		DurationMS:     float64(out.Result.Duration) / float64(time.Millisecond),
@@ -405,10 +440,18 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		resp.Plan = out.Plan.String()
 		resp.Lines = out.Plan.NumLines()
 	}
+	solvedProblems := 0
 	for _, st := range out.Result.Stats {
+		if st.Outcome == core.OutcomeSolved {
+			solvedProblems++
+		}
 		resp.Problems = append(resp.Problems, RepairProblem{
 			Label:      st.Label,
 			Status:     st.Status.String(),
+			Outcome:    st.Outcome.String(),
+			Attempts:   st.Attempts,
+			Fallback:   st.Fallback,
+			Error:      st.Err,
 			TCs:        st.TCs,
 			Policies:   st.Policies,
 			Vars:       st.Vars,
@@ -418,6 +461,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			DurationMS: float64(st.Duration) / float64(time.Millisecond),
 		})
 	}
+	s.stats.recordOutcomes(solvedProblems, out.Result.Degraded, out.Result.Failed)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -53,6 +53,12 @@ type stats struct {
 	solvesRejected  int64 // shed with HTTP 429
 	conflicts       int64 // total SAT conflicts across completed solves
 
+	// Per-destination sub-problem outcomes under fault isolation,
+	// summed across completed solves.
+	dstSolved   int64
+	dstDegraded int64
+	dstFailed   int64
+
 	endpoints map[string]*histogram
 }
 
@@ -116,6 +122,55 @@ func (st *stats) solveRejected() {
 	st.mu.Unlock()
 }
 
+// recordOutcomes accumulates one repair's per-destination dispositions.
+func (st *stats) recordOutcomes(solved, degraded, failed int) {
+	st.mu.Lock()
+	st.dstSolved += int64(solved)
+	st.dstDegraded += int64(degraded)
+	st.dstFailed += int64(failed)
+	st.mu.Unlock()
+}
+
+// repairP50MS estimates the median /v1/repair latency from the endpoint
+// histogram: the upper bound of the first bucket at or past half the
+// observations. With no observations yet it assumes one second, a
+// deliberately conservative guess for a solver-bound endpoint.
+func (st *stats) repairP50MS() float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	h, ok := st.endpoints["/v1/repair"]
+	if !ok || h.Count == 0 {
+		return 1000
+	}
+	half := (h.Count + 1) / 2
+	var cum int64
+	for i, ub := range latencyBucketsMS {
+		cum += h.Buckets[i]
+		if cum >= half {
+			return ub
+		}
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
+}
+
+// retryAfterSeconds derives a 429 Retry-After hint from the current
+// queue depth and the median solve latency: roughly when a slot should
+// free up for one more request, clamped to [1, 30] seconds.
+func (st *stats) retryAfterSeconds(waiting, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	p50 := st.repairP50MS()
+	secs := int((float64(waiting+1)*p50/float64(workers) + 999) / 1000)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
 // EndpointStats is one endpoint's latency summary in the /statsz payload.
 type EndpointStats struct {
 	Count     int64            `json:"count"`
@@ -139,6 +194,13 @@ type Statsz struct {
 		Rejected  int64 `json:"rejected"`
 		Conflicts int64 `json:"conflicts"`
 	} `json:"solves"`
+	// Destinations counts per-destination sub-problem outcomes under
+	// fault isolation, summed across completed solves.
+	Destinations struct {
+		Solved   int64 `json:"solved"`
+		Degraded int64 `json:"degraded"`
+		Failed   int64 `json:"failed"`
+	} `json:"destinations"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -156,6 +218,9 @@ func (st *stats) snapshot(sessions int) Statsz {
 	out.Solves.Cancelled = st.solvesCancelled
 	out.Solves.Rejected = st.solvesRejected
 	out.Solves.Conflicts = st.conflicts
+	out.Destinations.Solved = st.dstSolved
+	out.Destinations.Degraded = st.dstDegraded
+	out.Destinations.Failed = st.dstFailed
 	out.Endpoints = make(map[string]EndpointStats, len(st.endpoints))
 	for name, h := range st.endpoints {
 		es := EndpointStats{Count: h.Count, SumMS: h.SumMS, BucketsMS: make(map[string]int64, len(h.Buckets))}

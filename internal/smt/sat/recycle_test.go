@@ -1,0 +1,133 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the solver-recycle contract the fault-isolated repair
+// driver relies on: a solver whose search was stopped mid-flight — by a
+// sticky Interrupt or an exhausted conflict Budget — must come back
+// clean, so the next solve on the same instance cannot be poisoned by
+// leftover trail, decision levels, or a stale stop flag.
+
+func TestSolverReuseAfterMidSolveInterrupt(t *testing.T) {
+	// PHP(12, 11) keeps the search running long enough to interrupt it
+	// genuinely mid-flight (vars: pigeon p in hole h is Var(p*11+h)).
+	const holes = 11
+	s := pigeonhole(holes)
+
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(30 * time.Millisecond)
+	s.Interrupt()
+	select {
+	case st := <-done:
+		if st != Unknown {
+			t.Fatalf("interrupted solve = %v, want unknown", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("solver did not honor Interrupt within 5s")
+	}
+
+	s.ClearInterrupt()
+	if s.Interrupted() {
+		t.Fatal("Interrupted() = true after ClearInterrupt")
+	}
+	if lvl := s.decisionLevel(); lvl != 0 {
+		t.Fatalf("decision level = %d after interrupted solve, want 0 (clean backtrack)", lvl)
+	}
+	if !s.Okay() {
+		t.Fatal("interrupted solve marked the solver unsat")
+	}
+
+	// Pigeon 0 must sit in some hole: assuming it sits in none
+	// contradicts its at-least-one clause. A cleanly recycled solver
+	// proves that by propagation; a poisoned one would wedge or lie.
+	neg := make([]Lit, holes)
+	for h := 0; h < holes; h++ {
+		neg[h] = MkLit(Var(h), true)
+	}
+	if st := s.Solve(neg...); st != Unsat {
+		t.Fatalf("conflicting assumptions on recycled solver = %v, want unsat", st)
+	}
+	// Assumption-scoped unsat must not stick to the solver either.
+	if !s.Okay() {
+		t.Fatal("assumption unsat marked the solver permanently unsat")
+	}
+	if lvl := s.decisionLevel(); lvl != 0 {
+		t.Fatalf("decision level = %d after assumption solve, want 0", lvl)
+	}
+}
+
+func TestSolverReuseProducesVerifiedModel(t *testing.T) {
+	s := New()
+	vars := make([]Var, 6)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	clauses := [][]Lit{
+		{MkLit(vars[0], false), MkLit(vars[1], false)},
+		{MkLit(vars[0], true), MkLit(vars[2], false)},
+		{MkLit(vars[1], true), MkLit(vars[3], false)},
+		{MkLit(vars[2], true), MkLit(vars[4], true), MkLit(vars[5], false)},
+		{MkLit(vars[3], true), MkLit(vars[4], false)},
+		{MkLit(vars[5], true), MkLit(vars[0], false), MkLit(vars[4], false)},
+	}
+	for _, c := range clauses {
+		if !s.AddClause(c...) {
+			t.Fatal("clause set unexpectedly trivially unsat")
+		}
+	}
+
+	// A pending interrupt aborts the first solve (the spurious-interrupt
+	// failure the chaos suite injects)…
+	s.Interrupt()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve with pending interrupt = %v, want unknown", st)
+	}
+	// …and after clearing, the same solver must return a model that
+	// satisfies every clause.
+	s.ClearInterrupt()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("recycled solve = %v, want sat", st)
+	}
+	for i, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if s.ValueLit(l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("model falsifies clause %d", i)
+		}
+	}
+}
+
+func TestSolverReuseAfterBudgetExhaustion(t *testing.T) {
+	s := pigeonhole(6)
+	s.Budget = 5
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("budgeted PHP(7) solve = %v, want unknown (budget exhausted)", st)
+	}
+	// Budget exhaustion is not an interrupt: the caller distinguishes the
+	// two to decide between retrying with a bigger budget and giving up.
+	if s.Interrupted() {
+		t.Fatal("budget exhaustion set the interrupt flag")
+	}
+	if lvl := s.decisionLevel(); lvl != 0 {
+		t.Fatalf("decision level = %d after budget exhaustion, want 0", lvl)
+	}
+	// Lifting the budget on the same solver (learned clauses retained)
+	// must reach the true verdict.
+	s.Budget = 0
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("unbudgeted re-solve = %v, want unsat", st)
+	}
+	// A root-level unsat IS sticky — further solves answer immediately.
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("solve after unsat = %v, want unsat", st)
+	}
+}

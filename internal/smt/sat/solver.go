@@ -11,6 +11,8 @@ package sat
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Var is a boolean variable index (0-based).
@@ -584,6 +586,18 @@ func luby(i int64) int64 {
 // After Unsat, UnsatCore returns the subset of assumptions used; after
 // Sat, Value/ValueLit expose the model.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	if faultinject.Enabled() {
+		// Chaos injection sites: a crash inside the search, a spurious
+		// asynchronous interruption, and an instantly exhausted conflict
+		// budget. All are no-ops unless armed (see internal/faultinject).
+		faultinject.Eval(faultinject.SATSolvePanic)
+		if faultinject.Eval(faultinject.SATSpuriousInterrupt) != nil {
+			s.stop.Store(true)
+		}
+		if faultinject.Eval(faultinject.SATBudgetStarve) != nil {
+			return Unknown
+		}
+	}
 	if !s.ok {
 		s.core = nil
 		return Unsat

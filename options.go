@@ -2,6 +2,7 @@ package cpr
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/smt/maxsat"
@@ -21,6 +22,19 @@ type OptionFlags struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// ConflictBudget bounds each SAT call (0 = unlimited).
 	ConflictBudget int64 `json:"conflict_budget,omitempty"`
+	// Isolation is "on" (default) or "off": per-destination fault
+	// isolation with retries and greedy degradation (per-dst granularity
+	// only).
+	Isolation string `json:"isolation,omitempty"`
+	// RetryAttempts bounds solve attempts per destination under isolation
+	// (0 = default 3).
+	RetryAttempts int `json:"retry_attempts,omitempty"`
+	// DstTimeoutMS overrides the derived per-destination watchdog
+	// deadline, in milliseconds (0 = derive from the request deadline).
+	DstTimeoutMS int64 `json:"dst_timeout_ms,omitempty"`
+	// NoFallback disables greedy degradation: exhausted destinations are
+	// marked failed instead.
+	NoFallback bool `json:"no_fallback,omitempty"`
 }
 
 // Resolve converts the string-level flags into engine Options, rejecting
@@ -58,5 +72,24 @@ func (f OptionFlags) Resolve() (Options, error) {
 		return opts, fmt.Errorf("negative conflict budget %d", f.ConflictBudget)
 	}
 	opts.ConflictBudget = f.ConflictBudget
+	switch f.Isolation {
+	case "", "on":
+		opts.Isolation = core.IsolationOn
+	case "off":
+		opts.Isolation = core.IsolationOff
+	default:
+		return opts, fmt.Errorf("unknown isolation %q (want on or off)", f.Isolation)
+	}
+	if f.RetryAttempts < 0 {
+		return opts, fmt.Errorf("negative retry attempts %d", f.RetryAttempts)
+	}
+	if f.RetryAttempts > 0 {
+		opts.RetryAttempts = f.RetryAttempts
+	}
+	if f.DstTimeoutMS < 0 {
+		return opts, fmt.Errorf("negative destination timeout %dms", f.DstTimeoutMS)
+	}
+	opts.DstTimeout = time.Duration(f.DstTimeoutMS) * time.Millisecond
+	opts.DisableFallback = f.NoFallback
 	return opts, nil
 }
