@@ -77,6 +77,7 @@ func BenchmarkTable2RepairEncodingFig2a(b *testing.B) {
 	n := topology.Figure2a()
 	h := harc.Build(n)
 	spec := figure2aPoliciesBench(n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Repair(h, spec, core.DefaultOptions())
@@ -97,6 +98,7 @@ func BenchmarkTable3TranslateFig2a(b *testing.B) {
 		b.Fatal("repair failed")
 	}
 	orig := harc.StateOf(sys.HARC)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfgs, err := translate.CloneConfigs(sys.Configs)
@@ -155,6 +157,7 @@ func benchDCRepair(b *testing.B, opts core.Options) {
 		b.Fatal(err)
 	}
 	h := inst.Harc()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Repair(h, inst.Policies, opts)
@@ -342,6 +345,7 @@ func BenchmarkServerRepairWarm(b *testing.B) {
 	var lr server.LoadResponse
 	post("/v1/load", server.LoadRequest{Configs: config.Figure2aConfigs()}, &lr)
 	const spec = "always-blocked S U\nalways-waypoint S T\nreachable S T 2\nprimary-path R T A,B,C\n"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var rr server.RepairResponse
@@ -369,6 +373,7 @@ func BenchmarkServerRepairWarm(b *testing.B) {
 // Sanity: the bench configuration still produces a verifiable repair.
 func BenchmarkEndToEndPublicAPI(b *testing.B) {
 	texts := config.Figure2aConfigs()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys, err := cpr.Load(texts)
 		if err != nil {

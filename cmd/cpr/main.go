@@ -24,6 +24,7 @@ import (
 	cpr "repro"
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -35,18 +36,25 @@ func main() {
 		granFlag   = flag.String("granularity", "per-dst", "MaxSMT granularity: per-dst or all-tcs")
 		algoFlag   = flag.String("algorithm", "linear", "MaxSAT algorithm: linear or fu-malik")
 		objFlag    = flag.String("objective", "min-lines", "minimality objective: min-lines or min-devices")
-		parallel   = flag.Int("parallel", 1, "parallel per-destination solves")
+		parallel   = flag.Int("parallel", 0, "parallel per-destination solves (0 = one per core)")
 		budget     = flag.Int64("budget", 0, "SAT conflict budget per problem (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "repair deadline (0 = none); exceeding it cancels the solve")
 		isolation  = flag.String("isolation", "on", "per-destination fault isolation: on or off")
 		retries    = flag.Int("retries", 0, "solve attempts per destination under isolation (0 = default 3)")
 		dstTimeout = flag.Duration("dst-timeout", 0, "per-destination watchdog deadline (0 = derive from -timeout)")
 		noFallback = flag.Bool("no-fallback", false, "disable greedy degradation of exhausted destinations")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *configDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpr:", err)
+		os.Exit(1)
 	}
 	// The same option surface as one cprd repair request (OptionFlags is
 	// shared with the daemon's JSON body).
@@ -61,8 +69,12 @@ func main() {
 		DstTimeoutMS:   dstTimeout.Milliseconds(),
 		NoFallback:     *noFallback,
 	}
-	if err := run(*configDir, *policyFile, *outDir, *verifyOnly, optFlags, *timeout); err != nil {
-		fmt.Fprintln(os.Stderr, "cpr:", err)
+	runErr := run(*configDir, *policyFile, *outDir, *verifyOnly, optFlags, *timeout)
+	if perr := stopProf(); perr != nil && runErr == nil {
+		runErr = perr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "cpr:", runErr)
 		os.Exit(1)
 	}
 }

@@ -16,6 +16,10 @@
 //	GET  /healthz     liveness
 //	GET  /statsz      cache/solver/latency statistics
 //
+// With -pprof ADDR, net/http/pprof is served on a second listener so live
+// CPU/heap profiles can be pulled from a running daemon without exposing
+// the profiler on the service port.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight requests for up to the -drain period before exiting.
 package main
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only via -pprof)
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,8 +50,19 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 		maxTO    = flag.Duration("max-timeout", 30*time.Minute, "cap on client-requested deadlines")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain period")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+	if *pprofA != "" {
+		// The main server uses its own handler, so DefaultServeMux holds
+		// only the pprof routes registered by the blank import above.
+		go func() {
+			log.Printf("cprd pprof listening on %s", *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				log.Printf("cprd: pprof server: %v", err)
+			}
+		}()
+	}
 	if err := run(*listen, *sessions, *workers, *queue, *timeout, *maxTO, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "cprd:", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -24,8 +25,22 @@ func main() {
 		scale      = flag.String("scale", "quick", "quick or full")
 		networks   = flag.Int("networks", 0, "override corpus size")
 		subnets    = flag.Float64("subnet-scale", 0, "override subnet scale factor")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpreval:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpreval:", err)
+		}
+		os.Exit(code)
+	}
 
 	var cfg eval.Config
 	switch *scale {
@@ -35,7 +50,7 @@ func main() {
 		cfg = eval.Full()
 	default:
 		fmt.Fprintf(os.Stderr, "cpreval: unknown scale %q\n", *scale)
-		os.Exit(2)
+		exit(2)
 	}
 	if *networks > 0 {
 		cfg.CorpusNetworks = *networks
@@ -63,20 +78,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cpreval:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	} else {
 		run, ok := experiments[*experiment]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "cpreval: unknown experiment %q\n", *experiment)
-			os.Exit(2)
+			exit(2)
 		}
 		r, err := run(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cpreval:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		r.Render(os.Stdout)
 	}
 	fmt.Fprintf(os.Stderr, "cpreval: done in %v\n", time.Since(start).Round(time.Millisecond))
+	exit(0)
 }

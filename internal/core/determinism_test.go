@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/generate"
+	"repro/internal/harc"
+	"repro/internal/policy"
+)
+
+// determinismFixture is a corpus network with several violated
+// destinations, so per-dst decomposition yields a real multi-problem
+// fan-out (the same instance the ablation benchmarks use).
+func determinismFixture(t *testing.T) (*harc.HARC, []policy.Policy) {
+	t.Helper()
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name: "det", Routers: 8, Subnets: 14, BlockedFrac: 0.3,
+		FullyBlockedDsts: 1, Violations: 4, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Harc(), inst.Policies
+}
+
+// comparable projects a Result onto its deterministic fields: everything
+// except wall-clock durations. Vars, Softs, Violations, and Conflicts ARE
+// included — the interned encoding is byte-identical across parallelism
+// settings, so even solver-internal counters must agree.
+type comparableResult struct {
+	State    *harc.State
+	Changes  int
+	Solved   bool
+	Degraded int
+	Failed   int
+	Repaired []policy.Policy
+	Stats    []ProblemStat
+}
+
+func project(res *Result) comparableResult {
+	stats := make([]ProblemStat, len(res.Stats))
+	copy(stats, res.Stats)
+	for i := range stats {
+		stats[i].Duration = 0
+	}
+	return comparableResult{
+		State:    res.State,
+		Changes:  res.Changes,
+		Solved:   res.Solved,
+		Degraded: res.Degraded,
+		Failed:   res.Failed,
+		Repaired: res.Repaired,
+		Stats:    stats,
+	}
+}
+
+// TestRepairDeterministicAcrossParallelism pins the Parallelism contract:
+// 1 worker, 4 workers, and the GOMAXPROCS default must produce identical
+// results — same repaired state, same change count, same per-problem
+// statistics — under fault isolation on and off. Run with -race, this
+// also exercises the shared read-only encoding tables across workers.
+func TestRepairDeterministicAcrossParallelism(t *testing.T) {
+	h, ps := determinismFixture(t)
+	for _, iso := range []IsolationMode{IsolationOn, IsolationOff} {
+		t.Run(fmt.Sprintf("isolation=%v", iso), func(t *testing.T) {
+			var ref comparableResult
+			for i, par := range []int{1, 4, 0} {
+				opts := DefaultOptions()
+				opts.Isolation = iso
+				opts.Parallelism = par
+				res, err := Repair(h, ps, opts)
+				if err != nil {
+					t.Fatalf("Repair(parallelism=%d): %v", par, err)
+				}
+				if !res.Solved {
+					t.Fatalf("Repair(parallelism=%d) unsolved: %+v", par, res.Stats)
+				}
+				got := project(res)
+				if i == 0 {
+					ref = got
+					continue
+				}
+				if !reflect.DeepEqual(got.State, ref.State) {
+					t.Errorf("parallelism=%d: repaired state differs from parallelism=1", par)
+				}
+				if got.Changes != ref.Changes {
+					t.Errorf("parallelism=%d: changes %d != %d", par, got.Changes, ref.Changes)
+				}
+				if !reflect.DeepEqual(got.Repaired, ref.Repaired) {
+					t.Errorf("parallelism=%d: repaired policy set differs", par)
+				}
+				if !reflect.DeepEqual(got.Stats, ref.Stats) {
+					t.Errorf("parallelism=%d: stats differ\n got %+v\nwant %+v", par, got.Stats, ref.Stats)
+				}
+				if got.Solved != ref.Solved || got.Degraded != ref.Degraded || got.Failed != ref.Failed {
+					t.Errorf("parallelism=%d: outcome counts differ", par)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairSharedTablesRace hammers the shared per-repair tables with
+// more workers than problems; meaningful under -race, where any write to
+// the read-only tables or the cloned base state during the fan-out is a
+// reported data race.
+func TestRepairSharedTablesRace(t *testing.T) {
+	h, ps := determinismFixture(t)
+	opts := DefaultOptions()
+	opts.Parallelism = 8
+	for i := 0; i < 2; i++ {
+		res, err := Repair(h, ps, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solved {
+			t.Fatalf("unsolved: %+v", res.Stats)
+		}
+		if v := VerifyRepair(h, res.State, ps); len(v) != 0 {
+			t.Fatalf("repaired state violates: %v", v)
+		}
+	}
+}

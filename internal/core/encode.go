@@ -27,8 +27,15 @@ import (
 )
 
 // encoder builds the MaxSMT problem for one group of traffic classes.
+//
+// Variables are interned: every encoder owns a formula.Pool and looks
+// edge variables up in dense ID tables indexed by (local tc/dst index,
+// global slot index) instead of concatenating string names per use. The
+// shared read-only tables (slot keys, applicability, vertex spaces) come
+// precomputed from the per-repair tables value, so parallel per-dst
+// encoders never recompute them.
 type encoder struct {
-	h    *harc.HARC
+	tb   *tables
 	st   *harc.State // original state
 	opts Options
 
@@ -41,40 +48,31 @@ type encoder struct {
 	// so per-problem solutions merge without conflicts, §5.3).
 	freezeAll bool
 
-	s       *sat.Solver
-	b       *formula.Builder
+	s    *sat.Solver
+	b    *formula.Builder
+	pool *formula.Pool
+
+	// Dense variable tables. Rows are indexed by global slot index; nil
+	// entries mark inapplicable slots. tVar/dVar/stVar/rfVar outer
+	// dimensions are the local tc/dst indices (tcIdx/dstIdx).
+	tcIdx  map[string]int
+	dstIdx map[string]int
+	aVar   []*formula.F   // canonical slot index → aETG variable
+	tVar   [][]*formula.F // tcETG edge variables
+	dVar   [][]*formula.F // dETG edge variables
+	stVar  [][]*formula.F // static-route construct variables (inter slots)
+	rfVar  [][]*formula.F // route-filter construct variables (proc index)
+
 	softs   []sat.Lit
 	weights []int
 	// byDevice collects keep-formulas per device for the MinDevices
 	// objective (§5.2's "minimal number of devices changed").
 	byDevice map[string][]*formula.F
 
-	costVecs  map[string]bv.Vec     // CostKey → cost variable (PC4 problems)
-	wedgeVars map[string]*formula.F // link name → waypoint variable
-	canonical map[string]string     // inter slot key → canonical direction key
-}
-
-// Variable naming.
-
-func vA(key string) *formula.F { return formula.Var("eA|" + key) }
-
-// vRF is the route-filter construct variable: proc blocks routes to dst.
-func vRF(dst *topology.Subnet, proc *topology.Process) *formula.F {
-	return formula.Var("rf|" + dst.Name + "|" + proc.Name())
-}
-
-// vStatic is the static-route construct variable: the tail device has a
-// static route for dst across the slot's link.
-func vStatic(dst *topology.Subnet, s *arc.Slot) *formula.F {
-	return formula.Var("st|" + dst.Name + "|" + s.Key())
-}
-
-func vD(dst *topology.Subnet, s *arc.Slot) *formula.F {
-	return formula.Var("eD|" + dst.Name + "|" + s.Key())
-}
-
-func vT(tc topology.TrafficClass, s *arc.Slot) *formula.F {
-	return formula.Var("eT|" + tc.String() + "|" + s.Key())
+	costVecs   map[string]bv.Vec // CostKey → cost variable (PC4 problems)
+	costOrder  []string
+	wedgeVars  map[string]*formula.F // link name → waypoint variable
+	wedgeOrder []string
 }
 
 func constBool(v bool) *formula.F {
@@ -119,39 +117,17 @@ func applicableDst(s *arc.Slot, dst *topology.Subnet) bool {
 	return true
 }
 
-func newEncoder(h *harc.HARC, st *harc.State, tcs []topology.TrafficClass, policies []policy.Policy, freezeAll bool, opts Options) *encoder {
+func newEncoder(tb *tables, st *harc.State, tcs []topology.TrafficClass, policies []policy.Policy, freezeAll bool, opts Options) *encoder {
 	solver := sat.New()
 	solver.Budget = opts.ConflictBudget
+	pool := formula.NewPool()
 	e := &encoder{
-		h: h, st: st, opts: opts,
+		tb: tb, st: st, opts: opts,
 		tcs: tcs, policies: policies, freezeAll: freezeAll,
-		s: solver, b: formula.NewBuilder(solver),
+		s: solver, b: formula.NewPooledBuilder(solver, pool), pool: pool,
 		costVecs:  make(map[string]bv.Vec),
 		wedgeVars: make(map[string]*formula.F),
-		canonical: make(map[string]string),
 		byDevice:  make(map[string][]*formula.F),
-	}
-	// Routing adjacencies are symmetric: both directed slots over a link
-	// share one aETG variable, keyed by the lexicographically smaller
-	// slot key.
-	byEndpoints := make(map[string]string)
-	for _, s := range h.Slots {
-		if s.Kind != arc.SlotInterDevice {
-			continue
-		}
-		ep := s.FromProc.Name() + "|" + s.ToProc.Name() + "|" + s.FromIntf.Name + "|" + s.ToIntf.Name
-		rev := s.ToProc.Name() + "|" + s.FromProc.Name() + "|" + s.ToIntf.Name + "|" + s.FromIntf.Name
-		if other, ok := byEndpoints[rev]; ok {
-			canon := other
-			if s.Key() < canon {
-				canon = s.Key()
-			}
-			e.canonical[s.Key()] = canon
-			e.canonical[other] = canon
-		} else {
-			byEndpoints[ep] = s.Key()
-			e.canonical[s.Key()] = s.Key()
-		}
 	}
 	seen := map[string]bool{}
 	for _, tc := range tcs {
@@ -160,36 +136,85 @@ func newEncoder(h *harc.HARC, st *harc.State, tcs []topology.TrafficClass, polic
 			e.dsts = append(e.dsts, tc.Dst)
 		}
 	}
+	nslots := len(tb.slots)
+
+	// Eagerly create the variable nodes (node creation is one small
+	// allocation; solver variables stay lazy until a constraint uses
+	// them). Everything downstream is then a slice index away.
+	e.tcIdx = make(map[string]int, len(tcs))
+	e.tVar = make([][]*formula.F, len(tcs))
+	for tl, tc := range tcs {
+		e.tcIdx[tc.Key()] = tl
+		row := make([]*formula.F, nslots)
+		for _, si := range tb.tc[tc.Key()].slots {
+			row[si] = pool.Fresh()
+		}
+		e.tVar[tl] = row
+	}
+	e.dstIdx = make(map[string]int, len(e.dsts))
+	e.dVar = make([][]*formula.F, len(e.dsts))
+	e.stVar = make([][]*formula.F, len(e.dsts))
+	e.rfVar = make([][]*formula.F, len(e.dsts))
+	for dl, dst := range e.dsts {
+		e.dstIdx[dst.Name] = dl
+		drow := make([]*formula.F, nslots)
+		srow := make([]*formula.F, nslots)
+		for _, si := range tb.dst[dst.Name].slots {
+			drow[si] = pool.Fresh()
+			if tb.slots[si].Kind == arc.SlotInterDevice {
+				srow[si] = pool.Fresh()
+			}
+		}
+		rrow := make([]*formula.F, len(tb.procs))
+		for pi := range rrow {
+			rrow[pi] = pool.Fresh()
+		}
+		e.dVar[dl] = drow
+		e.stVar[dl] = srow
+		e.rfVar[dl] = rrow
+	}
+	if !freezeAll {
+		e.aVar = make([]*formula.F, nslots)
+		for si, s := range tb.slots {
+			switch s.Kind {
+			case arc.SlotInterDevice:
+				if tb.canon[si] == si {
+					e.aVar[si] = pool.Fresh()
+				}
+			case arc.SlotIntraRedist:
+				e.aVar[si] = pool.Fresh()
+			}
+		}
+	}
 	return e
 }
 
-// eA returns the aETG presence formula for slot s. Self edges always
-// exist in the aETG; inter-device slots share one variable per adjacency
-// (both directions); in per-dst mode the aETG is frozen to its original
-// value.
-func (e *encoder) eA(s *arc.Slot) *formula.F {
+// eA returns the aETG presence formula for the slot at index si. Self
+// edges always exist in the aETG; inter-device slots share one variable
+// per adjacency (both directions); in per-dst mode the aETG is frozen to
+// its original value.
+func (e *encoder) eA(si int) *formula.F {
+	s := e.tb.slots[si]
 	if s.Kind == arc.SlotIntraSelf {
 		return formula.True
 	}
 	if e.freezeAll {
-		return constBool(e.st.All[s.Key()])
+		return constBool(e.st.All[e.tb.key[si]])
 	}
-	if s.Kind == arc.SlotInterDevice {
-		return vA(e.canonical[s.Key()])
-	}
-	return vA(s.Key())
+	return e.aVar[e.tb.canon[si]]
 }
 
 // wedge returns the waypoint formula for an inter-device slot's link.
 // Existing middleboxes stay in place; repairs may only add waypoints
 // (footnote 2 of the paper), which keeps per-destination sub-problems
 // mergeable.
-func (e *encoder) wedge(s *arc.Slot) *formula.F {
+func (e *encoder) wedge(si int) *formula.F {
+	s := e.tb.slots[si]
 	if s.Kind != arc.SlotInterDevice {
 		// Intra-device waypoint (device middlebox) is not repairable.
 		return constBool(s.Waypoint())
 	}
-	name := s.Link.Name()
+	name := e.tb.linkName[si]
 	if e.st.Waypoint[name] {
 		return formula.True
 	}
@@ -199,27 +224,38 @@ func (e *encoder) wedge(s *arc.Slot) *formula.F {
 	if f, ok := e.wedgeVars[name]; ok {
 		return f
 	}
-	f := formula.Var("wp|" + name)
+	f := e.pool.Fresh()
 	e.wedgeVars[name] = f
+	e.wedgeOrder = append(e.wedgeOrder, name)
 	return f
 }
 
-// cost returns the bitvector cost of slot s for PC4 arithmetic: a shared
-// variable per egress interface for inter-device slots (constraint 13's
-// sharing rule), zero otherwise.
-func (e *encoder) cost(s *arc.Slot) bv.Vec {
-	ck := harc.CostKey(s)
+// cost returns the bitvector cost of the slot at index si for PC4
+// arithmetic: a shared variable per egress interface for inter-device
+// slots (constraint 13's sharing rule), zero otherwise.
+func (e *encoder) cost(si int) bv.Vec {
+	ck := e.tb.costKey[si]
 	if ck == "" {
 		return bv.Const(0, 1)
 	}
 	if v, ok := e.costVecs[ck]; ok {
 		return v
 	}
-	v := bv.New("cost|"+ck, e.opts.CostBits)
+	v := bv.Fresh(e.pool, e.opts.CostBits)
 	e.costVecs[ck] = v
+	e.costOrder = append(e.costOrder, ck)
 	// Constraint 13: cost > 0.
 	e.b.Assert(bv.NonZero(v))
 	return v
+}
+
+// freshVec returns n fresh anonymous variables.
+func (e *encoder) freshVec(n int) []*formula.F {
+	out := make([]*formula.F, n)
+	for i := range out {
+		out[i] = e.pool.Fresh()
+	}
+	return out
 }
 
 // soft registers a keep-formula attributed to a device. Under the
@@ -253,7 +289,6 @@ func (e *encoder) finalizeSofts() {
 	}
 }
 
-// encode builds the full constraint system.
 // encode builds the MaxSMT problem. Encoding large problems takes as
 // long as solving them, so it polls ctx between policies — the loop
 // dominates encoding time — and cancellation surfaces as ctx's error.
@@ -295,63 +330,53 @@ func (e *encoder) encode(ctx context.Context) error {
 // truncated at the initial violation count) and dramatically shortens
 // the optimization.
 func (e *encoder) seedPhases() {
-	for _, tc := range e.tcs {
+	for tl, tc := range e.tcs {
 		tcState := e.st.TC[tc.Key()]
-		for _, s := range e.tcSlots(tc) {
-			name := "eT|" + tc.String() + "|" + s.Key()
-			if e.b.HasVar(name) {
-				e.b.Prefer(name, tcState[s.Key()])
+		for _, si := range e.tb.tc[tc.Key()].slots {
+			if f := e.tVar[tl][si]; e.b.AllocatedVar(f) {
+				e.b.PreferF(f, tcState[e.tb.key[si]])
 			}
 		}
 	}
-	for _, dst := range e.dsts {
+	for dl, dst := range e.dsts {
 		dstState := e.st.Dst[dst.Name]
-		for _, s := range e.h.Slots {
-			if !applicableDst(s, dst) {
-				continue
-			}
-			name := "eD|" + dst.Name + "|" + s.Key()
-			if e.b.HasVar(name) {
-				e.b.Prefer(name, dstState[s.Key()])
+		for _, si := range e.tb.dst[dst.Name].slots {
+			s := e.tb.slots[si]
+			if f := e.dVar[dl][si]; e.b.AllocatedVar(f) {
+				e.b.PreferF(f, dstState[e.tb.key[si]])
 			}
 			switch s.Kind {
 			case arc.SlotIntraSelf:
-				rfName := "rf|" + dst.Name + "|" + s.FromProc.Name()
-				if e.b.HasVar(rfName) {
-					e.b.Prefer(rfName, s.FromProc.BlocksDestination(dst.Prefix))
+				if f := e.rfVar[dl][e.tb.fromProc[si]]; e.b.AllocatedVar(f) {
+					e.b.PreferF(f, s.FromProc.BlocksDestination(dst.Prefix))
 				}
 			case arc.SlotInterDevice:
-				stName := "st|" + dst.Name + "|" + s.Key()
-				if e.b.HasVar(stName) {
-					e.b.Prefer(stName, s.StaticBacked(dst) != nil)
+				if f := e.stVar[dl][si]; e.b.AllocatedVar(f) {
+					e.b.PreferF(f, s.StaticBacked(dst) != nil)
 				}
 			}
 		}
 	}
 	if !e.freezeAll {
-		for _, s := range e.h.Slots {
-			var name string
+		for si, s := range e.tb.slots {
 			switch s.Kind {
-			case arc.SlotInterDevice:
-				name = "eA|" + e.canonical[s.Key()]
-			case arc.SlotIntraRedist:
-				name = "eA|" + s.Key()
+			case arc.SlotInterDevice, arc.SlotIntraRedist:
 			default:
 				continue
 			}
-			if e.b.HasVar(name) {
-				e.b.Prefer(name, e.st.All[s.Key()])
+			if f := e.aVar[e.tb.canon[si]]; f != nil && e.b.AllocatedVar(f) {
+				e.b.PreferF(f, e.st.All[e.tb.key[si]])
 			}
 		}
 	}
-	for ck := range e.costVecs {
+	for _, ck := range e.costOrder {
 		orig := uint64(e.st.Cost[ck])
 		max := uint64(1)<<uint(e.opts.CostBits) - 1
 		if orig > max {
 			orig = max
 		}
-		for i := 0; i < e.opts.CostBits; i++ {
-			e.b.Prefer(fmt.Sprintf("cost|%s.%d", ck, i), orig&(1<<uint(i)) != 0)
+		for i, bit := range e.costVecs[ck] {
+			e.b.PreferF(bit, orig&(1<<uint(i)) != 0)
 		}
 	}
 }
@@ -363,115 +388,79 @@ func (e *encoder) seedPhases() {
 // constructs that realize them — route filters and static routes — so
 // every satisfying model is directly implementable in configuration.
 func (e *encoder) hierarchyConstraints() {
-	for _, tc := range e.tcs {
-		for _, s := range e.h.Slots {
-			if !applicableTC(s, tc) {
-				continue
-			}
-			if s.Kind == arc.SlotSource {
+	for tl, tc := range e.tcs {
+		dl := e.dstIdx[tc.Dst.Name]
+		for _, si := range e.tb.tc[tc.Key()].slots {
+			switch e.tb.slots[si].Kind {
+			case arc.SlotSource:
 				// A source edge needs the gateway process to have a route
 				// to the destination (no route filter).
-				e.b.Assert(formula.Implies(vT(tc, s),
-					formula.Not(vRF(tc.Dst, s.ToProc))))
-				continue
-			}
-			switch s.Kind {
+				e.b.Assert(formula.Implies(e.tVar[tl][si],
+					formula.Not(e.rfVar[dl][e.tb.toProc[si]])))
 			case arc.SlotIntraSelf, arc.SlotIntraRedist:
 				// ACLs cannot act inside a device: intra tcETG edges equal
 				// their dETG edges (Table 3's "invalid modification").
-				e.b.Assert(formula.Iff(vT(tc, s), vD(tc.Dst, s)))
+				e.b.Assert(formula.Iff(e.tVar[tl][si], e.dVar[dl][si]))
 			default:
 				// Constraint 18: tcETG edge ⇒ dETG edge (the gap is an
 				// interface ACL).
-				e.b.Assert(formula.Implies(vT(tc, s), vD(tc.Dst, s)))
+				e.b.Assert(formula.Implies(e.tVar[tl][si], e.dVar[dl][si]))
 			}
 		}
 	}
-	for _, dst := range e.dsts {
+	for dl, dst := range e.dsts {
 		// procStatic(p) is true when a static route for dst leaves
 		// through process p's links: a FIB-level static also backs the
 		// intra edges into p's outgoing vertex.
-		procStaticMap := map[string]*formula.F{}
-		for _, s := range e.h.Slots {
+		procParts := make([][]*formula.F, len(e.tb.procs))
+		for si, s := range e.tb.slots {
 			if s.Kind != arc.SlotInterDevice {
 				continue
 			}
-			owner := s.FromProc.Name()
-			f := vStatic(dst, s)
-			if prev, ok := procStaticMap[owner]; ok {
-				procStaticMap[owner] = formula.Or(prev, f)
-			} else {
-				procStaticMap[owner] = f
-			}
+			pi := e.tb.fromProc[si]
+			procParts[pi] = append(procParts[pi], e.stVar[dl][si])
 		}
-		procStatic := func(p *topology.Process) *formula.F {
-			if f, ok := procStaticMap[p.Name()]; ok {
-				return f
+		procStatic := func(pi int) *formula.F {
+			if parts := procParts[pi]; len(parts) > 0 {
+				return formula.Or(parts...)
 			}
 			return formula.False
 		}
-		for _, s := range e.h.Slots {
-			if !applicableDst(s, dst) {
-				continue
-			}
-			switch s.Kind {
+		for _, si := range e.tb.dst[dst.Name].slots {
+			switch e.tb.slots[si].Kind {
 			case arc.SlotIntraSelf:
 				// A process forwards toward dst unless it filters the
 				// route — or a static route makes the FIB authoritative.
-				e.b.Assert(formula.Iff(vD(dst, s), formula.Or(
-					formula.Not(vRF(dst, s.FromProc)),
-					procStatic(s.FromProc),
+				from := e.tb.fromProc[si]
+				e.b.Assert(formula.Iff(e.dVar[dl][si], formula.Or(
+					formula.Not(e.rfVar[dl][from]),
+					procStatic(from),
 				)))
 			case arc.SlotIntraRedist:
 				// Redistribution edge: configured and unfiltered, or
 				// static-backed at the device level.
-				e.b.Assert(formula.Iff(vD(dst, s), formula.Or(
+				from := e.tb.fromProc[si]
+				e.b.Assert(formula.Iff(e.dVar[dl][si], formula.Or(
 					formula.And(
-						e.eA(s),
-						formula.Not(vRF(dst, s.ToProc)),
-						formula.Not(vRF(dst, s.FromProc)),
+						e.eA(si),
+						formula.Not(e.rfVar[dl][e.tb.toProc[si]]),
+						formula.Not(e.rfVar[dl][from]),
 					),
-					procStatic(s.FromProc),
+					procStatic(from),
 				)))
 			case arc.SlotInterDevice:
 				// Constraint 19: adjacency-backed (and the receiver
 				// advertises dst) or static-backed.
-				e.b.Assert(formula.Iff(vD(dst, s), formula.Or(
-					formula.And(e.eA(s), formula.Not(vRF(dst, s.ToProc))),
-					vStatic(dst, s),
+				e.b.Assert(formula.Iff(e.dVar[dl][si], formula.Or(
+					formula.And(e.eA(si), formula.Not(e.rfVar[dl][e.tb.toProc[si]])),
+					e.stVar[dl][si],
 				)))
 			case arc.SlotDest:
-				e.b.Assert(formula.Iff(vD(dst, s),
-					formula.Not(vRF(dst, s.FromProc))))
+				e.b.Assert(formula.Iff(e.dVar[dl][si],
+					formula.Not(e.rfVar[dl][e.tb.fromProc[si]])))
 			}
 		}
 	}
-}
-
-// tcSlots returns the slots applicable to tc.
-func (e *encoder) tcSlots(tc topology.TrafficClass) []*arc.Slot {
-	var out []*arc.Slot
-	for _, s := range e.h.Slots {
-		if applicableTC(s, tc) {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-// vertexSet collects ETG vertex names for tc with SRC/DST included.
-func (e *encoder) vertexSet(tc topology.TrafficClass) []string {
-	seen := map[string]bool{"SRC": true, "DST": true}
-	out := []string{"SRC", "DST"}
-	for _, s := range e.tcSlots(tc) {
-		for _, v := range []string{s.FromVertex(), s.ToVertex()} {
-			if !seen[v] {
-				seen[v] = true
-				out = append(out, v)
-			}
-		}
-	}
-	return out
 }
 
 func (e *encoder) policyConstraints(p policy.Policy) error {
@@ -495,9 +484,11 @@ func (e *encoder) policyConstraints(p policy.Policy) error {
 // encodeIsolation forbids the two traffic classes from sharing any ETG
 // edge (§5.1: edge_tc1 ⇒ ¬edge_tc2 and vice versa).
 func (e *encoder) encodeIsolation(p policy.Policy) {
-	for _, s := range e.h.Slots {
-		if applicableTC(s, p.TC) && applicableTC(s, p.TC2) {
-			e.b.Assert(formula.Not(formula.And(vT(p.TC, s), vT(p.TC2, s))))
+	t1 := e.tVar[e.tcIdx[p.TC.Key()]]
+	t2 := e.tVar[e.tcIdx[p.TC2.Key()]]
+	for si := range e.tb.slots {
+		if t1[si] != nil && t2[si] != nil {
+			e.b.Assert(formula.Not(formula.And(t1[si], t2[si])))
 		}
 	}
 }
@@ -506,102 +497,96 @@ func (e *encoder) encodeIsolation(p policy.Policy) {
 // reachability-closure form: reach(SRC) holds, presence propagates
 // reachability along edges, and reach(DST) is forbidden.
 func (e *encoder) encodePC1(p policy.Policy) {
-	tc := p.TC
-	reach := func(v string) *formula.F {
-		return formula.Var("reach|" + tc.String() + "|" + v)
-	}
-	e.b.Assert(reach("SRC"))
-	for _, s := range e.tcSlots(tc) {
+	tl := e.tcIdx[p.TC.Key()]
+	t := e.tb.tc[p.TC.Key()]
+	reach := e.freshVec(len(t.vertices))
+	e.b.Assert(reach[0]) // SRC
+	for k, si := range t.slots {
 		e.b.Assert(formula.Implies(
-			formula.And(vT(tc, s), reach(s.FromVertex())),
-			reach(s.ToVertex()),
+			formula.And(e.tVar[tl][si], reach[t.fromV[k]]),
+			reach[t.toV[k]],
 		))
 	}
-	e.b.Assert(formula.Not(reach("DST")))
+	e.b.Assert(formula.Not(reach[1])) // DST
 }
 
 // encodePC2 emits Figure 5 constraints 4-6: no waypoint-free path from
 // SRC to DST may exist, where wedge variables mark waypoint-carrying
 // edges (repairs may add waypoints, footnote 2).
 func (e *encoder) encodePC2(p policy.Policy) {
-	tc := p.TC
-	nw := func(v string) *formula.F {
-		return formula.Var("nw|" + tc.String() + "|" + v)
-	}
-	e.b.Assert(nw("SRC"))
-	for _, s := range e.tcSlots(tc) {
+	tl := e.tcIdx[p.TC.Key()]
+	t := e.tb.tc[p.TC.Key()]
+	nw := e.freshVec(len(t.vertices))
+	e.b.Assert(nw[0]) // SRC
+	for k, si := range t.slots {
 		e.b.Assert(formula.Implies(
-			formula.And(vT(tc, s), formula.Not(e.wedge(s)), nw(s.FromVertex())),
-			nw(s.ToVertex()),
+			formula.And(e.tVar[tl][si], formula.Not(e.wedge(si)), nw[t.fromV[k]]),
+			nw[t.toV[k]],
 		))
 	}
-	e.b.Assert(formula.Not(nw("DST")))
+	e.b.Assert(formula.Not(nw[1])) // DST
+}
+
+// peVars gathers path-edge variables for the given slot positions.
+func peVars(row []*formula.F, positions []int) []*formula.F {
+	out := make([]*formula.F, len(positions))
+	for i, k := range positions {
+		out[i] = row[k]
+	}
+	return out
 }
 
 // encodePC3 emits Figure 5 constraints 7-12: K link-disjoint paths must
 // exist in the tcETG.
 func (e *encoder) encodePC3(p policy.Policy) {
-	tc := p.TC
-	slots := e.tcSlots(tc)
-	pe := func(j int, s *arc.Slot) *formula.F {
-		return formula.Var(fmt.Sprintf("pe|%s|%d|%s", tc.String(), j, s.Key()))
-	}
+	tl := e.tcIdx[p.TC.Key()]
+	t := e.tb.tc[p.TC.Key()]
 
-	// Index slots by tail and head vertex.
-	bySrc := map[string][]*arc.Slot{}
-	byDst := map[string][]*arc.Slot{}
-	for _, s := range slots {
-		bySrc[s.FromVertex()] = append(bySrc[s.FromVertex()], s)
-		byDst[s.ToVertex()] = append(byDst[s.ToVertex()], s)
+	// pe[j][k] selects the slot at position k into path j.
+	pe := make([][]*formula.F, p.K)
+	for j := range pe {
+		pe[j] = e.freshVec(len(t.slots))
 	}
 
 	for j := 0; j < p.K; j++ {
 		// Constraint 7: path edges exist in the tcETG.
-		for _, s := range slots {
-			e.b.Assert(formula.Implies(pe(j, s), vT(tc, s)))
+		for k, si := range t.slots {
+			e.b.Assert(formula.Implies(pe[j][k], e.tVar[tl][si]))
 		}
 		// Constraint 8: the path leaves SRC.
-		var fromSrc []*formula.F
-		for _, s := range bySrc["SRC"] {
-			fromSrc = append(fromSrc, pe(j, s))
-		}
-		e.b.Assert(formula.Or(fromSrc...))
+		e.b.Assert(formula.Or(peVars(pe[j], t.byTail[0])...))
 		// Constraint 9: the path enters DST.
-		var toDst []*formula.F
-		for _, s := range byDst["DST"] {
-			toDst = append(toDst, pe(j, s))
-		}
-		e.b.Assert(formula.Or(toDst...))
+		e.b.Assert(formula.Or(peVars(pe[j], t.byHead[1])...))
 		// Constraints 10 and 11: interior continuity.
-		for v, outs := range bySrc {
-			if v == "SRC" {
+		for vi := range t.vertices {
+			if vi == 0 { // SRC
+				continue
+			}
+			outs := t.byTail[vi]
+			if len(outs) == 0 {
 				continue
 			}
 			// Constraint 10: a selected edge out of v needs a selected
 			// edge into v.
-			var ins []*formula.F
-			for _, s := range byDst[v] {
-				ins = append(ins, pe(j, s))
-			}
-			inAny := formula.Or(ins...)
-			for _, s := range outs {
-				e.b.Assert(formula.Implies(pe(j, s), inAny))
+			inAny := formula.Or(peVars(pe[j], t.byHead[vi])...)
+			for _, k := range outs {
+				e.b.Assert(formula.Implies(pe[j][k], inAny))
 			}
 		}
-		for v, ins := range byDst {
-			if v == "DST" {
+		for vi := range t.vertices {
+			if vi == 1 { // DST
+				continue
+			}
+			ins := t.byHead[vi]
+			if len(ins) == 0 {
 				continue
 			}
 			// Constraint 11: a selected edge into v needs exactly one
 			// selected edge out of v.
-			outs := bySrc[v]
-			var outFs []*formula.F
-			for _, s := range outs {
-				outFs = append(outFs, pe(j, s))
-			}
+			outFs := peVars(pe[j], t.byTail[vi])
 			outAny := formula.Or(outFs...)
-			for _, s := range ins {
-				e.b.Assert(formula.Implies(pe(j, s), outAny))
+			for _, k := range ins {
+				e.b.Assert(formula.Implies(pe[j][k], outAny))
 			}
 			if len(outFs) > 1 {
 				e.b.AtMostOne(outFs...)
@@ -611,20 +596,10 @@ func (e *encoder) encodePC3(p policy.Policy) {
 	// Constraint 12: link-disjointness across the K paths, enforced per
 	// physical link (both directions of a link belong to at most one
 	// path).
-	byLink := map[string][]*arc.Slot{}
-	for _, s := range slots {
-		if s.Kind == arc.SlotInterDevice {
-			byLink[s.Link.Name()] = append(byLink[s.Link.Name()], s)
-		}
-	}
-	for _, linkSlots := range byLink {
+	for _, lg := range t.links {
 		used := make([]*formula.F, p.K)
 		for j := 0; j < p.K; j++ {
-			var parts []*formula.F
-			for _, s := range linkSlots {
-				parts = append(parts, pe(j, s))
-			}
-			used[j] = formula.Or(parts...)
+			used[j] = formula.Or(peVars(pe[j], lg.positions)...)
 		}
 		for a := 0; a < p.K; a++ {
 			for b := a + 1; b < p.K; b++ {
@@ -639,8 +614,9 @@ func (e *encoder) encodePC3(p policy.Policy) {
 // the required path P at every hop.
 func (e *encoder) encodePC4(p policy.Policy) error {
 	tc := p.TC
-	slots := e.tcSlots(tc)
-	vertices := e.vertexSet(tc)
+	tl := e.tcIdx[tc.Key()]
+	dl := e.dstIdx[tc.Dst.Name]
+	t := e.tb.tc[tc.Key()]
 	distBits := e.opts.DistBits
 
 	// Route selection is ACL-blind: distance labels, tightness, and the
@@ -650,34 +626,29 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 	// concretely the traffic still routes into that edge and is dropped
 	// by the very ACL that was added. Only the source attachment, which
 	// exists solely at the tc level, keeps its tc variable.
-	pres := func(s *arc.Slot) *formula.F {
-		if s.Kind == arc.SlotSource {
-			return vT(tc, s)
+	pres := func(k int) *formula.F {
+		si := t.slots[k]
+		if e.tb.slots[si].Kind == arc.SlotSource {
+			return e.tVar[tl][si]
 		}
-		return vD(tc.Dst, s)
+		return e.dVar[dl][si]
 	}
 
-	dist := map[string]bv.Vec{}
-	unreach := map[string]*formula.F{}
-	for _, v := range vertices {
-		dist[v] = bv.New("d|"+tc.String()+"|"+v, distBits)
-		unreach[v] = formula.Var("un|" + tc.String() + "|" + v)
+	dist := make([]bv.Vec, len(t.vertices))
+	unreach := e.freshVec(len(t.vertices))
+	for vi := range t.vertices {
+		dist[vi] = bv.Fresh(e.pool, distBits)
 	}
 	// Constraints 14-15: SRC is the root at distance 0.
-	bv.AssertEqualConst(e.b, dist["SRC"], 0)
-	e.b.Assert(formula.Not(unreach["SRC"]))
-
-	byDst := map[string][]*arc.Slot{}
-	for _, s := range slots {
-		byDst[s.ToVertex()] = append(byDst[s.ToVertex()], s)
-	}
+	bv.AssertEqualConst(e.b, dist[0], 0)
+	e.b.Assert(formula.Not(unreach[0]))
 
 	// Relaxation: a present edge from a reachable tail bounds the head's
 	// label, and makes the head reachable.
-	for _, s := range slots {
-		u, v := s.FromVertex(), s.ToVertex()
-		premise := formula.And(pres(s), formula.Not(unreach[u]))
-		sum := bv.Add(dist[u], e.cost(s))
+	for k, si := range t.slots {
+		u, v := t.fromV[k], t.toV[k]
+		premise := formula.And(pres(k), formula.Not(unreach[u]))
+		sum := bv.Add(dist[u], e.cost(si))
 		e.b.Assert(formula.Implies(premise, formula.And(
 			formula.Not(unreach[v]),
 			bv.LessEq(dist[v], sum),
@@ -687,20 +658,20 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 	// non-SRC vertex has an incoming tight edge. With strictly positive
 	// inter-device costs and the bipartite I/O structure, support graphs
 	// are acyclic, so labels are exactly the shortest distances.
-	for _, v := range vertices {
-		if v == "SRC" {
+	for vi := range t.vertices {
+		if vi == 0 { // SRC
 			continue
 		}
 		var supports []*formula.F
-		for _, s := range byDst[v] {
-			u := s.FromVertex()
+		for _, k := range t.byHead[vi] {
+			u := t.fromV[k]
 			supports = append(supports, formula.And(
-				pres(s),
+				pres(k),
 				formula.Not(unreach[u]),
-				bv.Equal(dist[v], bv.Add(dist[u], e.cost(s))),
+				bv.Equal(dist[vi], bv.Add(dist[u], e.cost(t.slots[k]))),
 			))
 		}
-		e.b.Assert(formula.Or(unreach[v], formula.Or(supports...)))
+		e.b.Assert(formula.Or(unreach[vi], formula.Or(supports...)))
 	}
 
 	// Constraint 17: the edges of P exist, are tight, and are strictly
@@ -709,23 +680,24 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 	if err != nil {
 		return err
 	}
-	for _, cs := range chain {
-		u, v := cs.FromVertex(), cs.ToVertex()
+	for _, ck := range chain {
+		si := t.slots[ck]
+		u, v := t.fromV[ck], t.toV[ck]
 		// The chain edge must be usable at the tc level (no ACL may drop
 		// traffic on its own primary path); constraint 18 lifts this to
 		// routing presence.
-		e.b.Assert(vT(tc, cs))
+		e.b.Assert(e.tVar[tl][si])
 		e.b.Assert(formula.Not(unreach[u]))
-		chainSum := bv.Add(dist[u], e.cost(cs))
+		chainSum := bv.Add(dist[u], e.cost(si))
 		e.b.Assert(bv.Equal(dist[v], chainSum))
-		for _, other := range byDst[v] {
-			if other == cs {
+		for _, ok := range t.byHead[v] {
+			if ok == ck {
 				continue
 			}
-			w := other.FromVertex()
+			w := t.fromV[ok]
 			e.b.Assert(formula.Implies(
-				formula.And(pres(other), formula.Not(unreach[w])),
-				bv.Less(chainSum, bv.Add(dist[w], e.cost(other))),
+				formula.And(pres(ok), formula.Not(unreach[w])),
+				bv.Less(chainSum, bv.Add(dist[w], e.cost(t.slots[ok]))),
 			))
 		}
 	}
@@ -733,26 +705,27 @@ func (e *encoder) encodePC4(p policy.Policy) error {
 }
 
 // chainSlots maps a PC4 device path onto the unique slot sequence
-// SRC → dev1:O → dev2:I → dev2:O → ... → DST. It requires a single
-// routing process per device pair (the common case; ambiguous paths are
+// SRC → dev1:O → dev2:I → dev2:O → ... → DST, returned as positions
+// into the traffic class's slot list. It requires a single routing
+// process per device pair (the common case; ambiguous paths are
 // rejected).
-func (e *encoder) chainSlots(p policy.Policy) ([]*arc.Slot, error) {
+func (e *encoder) chainSlots(p policy.Policy) ([]int, error) {
 	tc := p.TC
-	slots := e.tcSlots(tc)
-	var chain []*arc.Slot
+	t := e.tb.tc[tc.Key()]
+	var chain []int
 
-	find := func(pred func(*arc.Slot) bool, what string) (*arc.Slot, error) {
-		var found *arc.Slot
-		for _, s := range slots {
-			if pred(s) {
-				if found != nil {
-					return nil, fmt.Errorf("core: PC4 path for %s is ambiguous at %s (multiple processes)", tc, what)
+	find := func(pred func(*arc.Slot) bool, what string) (int, error) {
+		found := -1
+		for k, si := range t.slots {
+			if pred(e.tb.slots[si]) {
+				if found >= 0 {
+					return -1, fmt.Errorf("core: PC4 path for %s is ambiguous at %s (multiple processes)", tc, what)
 				}
-				found = s
+				found = k
 			}
 		}
-		if found == nil {
-			return nil, fmt.Errorf("core: PC4 path for %s has no candidate slot at %s", tc, what)
+		if found < 0 {
+			return -1, fmt.Errorf("core: PC4 path for %s has no candidate slot at %s", tc, what)
 		}
 		return found, nil
 	}
@@ -761,13 +734,13 @@ func (e *encoder) chainSlots(p policy.Policy) ([]*arc.Slot, error) {
 		return nil, fmt.Errorf("core: PC4 policy for %s has empty path", tc)
 	}
 	first := p.Path[0]
-	s, err := find(func(s *arc.Slot) bool {
+	k, err := find(func(s *arc.Slot) bool {
 		return s.Kind == arc.SlotSource && s.ToProc.Device.Name == first
 	}, "SRC->"+first)
 	if err != nil {
 		return nil, err
 	}
-	chain = append(chain, s)
+	chain = append(chain, k)
 
 	for i := 0; i+1 < len(p.Path); i++ {
 		from, to := p.Path[i], p.Path[i+1]
@@ -806,51 +779,49 @@ func (e *encoder) chainSlots(p policy.Policy) ([]*arc.Slot, error) {
 // softConstraints emits Table 2 plus the cost and waypoint softs.
 func (e *encoder) softConstraints() {
 	// tcETG-level softs.
-	for _, tc := range e.tcs {
+	for tl, tc := range e.tcs {
 		tcState := e.st.TC[tc.Key()]
 		dstState := e.st.Dst[tc.Dst.Name]
-		for _, s := range e.tcSlots(tc) {
-			key := s.Key()
+		dl := e.dstIdx[tc.Dst.Name]
+		for _, si := range e.tb.tc[tc.Key()].slots {
+			key := e.tb.key[si]
 			origTC := tcState[key]
-			if s.Kind == arc.SlotSource {
+			dev := e.tb.aclDev[si]
+			if e.tb.slots[si].Kind == arc.SlotSource {
 				// Source edges have no dETG parent; keeping them as-is
 				// avoids an ACL change on the host-facing interface.
-				e.soft(s.Intf.Device.Name, formula.Iff(vT(tc, s), constBool(origTC)))
+				e.soft(dev, formula.Iff(e.tVar[tl][si], constBool(origTC)))
 				continue
 			}
-			dev := aclDevice(s)
 			origD := dstState[key]
 			if origD && !origTC {
 				// Deviation (ACL) continues to pay for itself only if the
 				// edge stays absent (Table 2 rows 2 and 6).
-				e.soft(dev, formula.Not(vT(tc, s)))
+				e.soft(dev, formula.Not(e.tVar[tl][si]))
 			} else {
-				e.soft(dev, formula.Iff(vT(tc, s), vD(tc.Dst, s)))
+				e.soft(dev, formula.Iff(e.tVar[tl][si], e.dVar[dl][si]))
 			}
 		}
 	}
 	// dETG-level softs: one per construct, so violated softs count
 	// configuration lines exactly (the construct realization of Table 2's
 	// per-edge accounting).
-	seenRF := map[string]bool{}
-	for _, dst := range e.dsts {
-		for _, s := range e.h.Slots {
-			if !applicableDst(s, dst) {
-				continue
-			}
+	for dl, dst := range e.dsts {
+		seenRF := make([]bool, len(e.tb.procs))
+		for _, si := range e.tb.dst[dst.Name].slots {
+			s := e.tb.slots[si]
 			switch s.Kind {
 			case arc.SlotIntraSelf:
 				// One route-filter soft per (process, destination).
-				rf := vRF(dst, s.FromProc)
-				key := dst.Name + "|" + s.FromProc.Name()
-				if !seenRF[key] {
-					seenRF[key] = true
+				pi := e.tb.fromProc[si]
+				if !seenRF[pi] {
+					seenRF[pi] = true
 					orig := s.FromProc.BlocksDestination(dst.Prefix)
-					e.soft(s.FromProc.Device.Name, formula.Iff(rf, constBool(orig)))
+					e.soft(e.tb.procDev[pi], formula.Iff(e.rfVar[dl][pi], constBool(orig)))
 				}
 			case arc.SlotInterDevice:
 				orig := s.StaticBacked(dst) != nil
-				e.soft(s.FromProc.Device.Name, formula.Iff(vStatic(dst, s), constBool(orig)))
+				e.soft(e.tb.procDev[e.tb.fromProc[si]], formula.Iff(e.stVar[dl][si], constBool(orig)))
 			}
 		}
 	}
@@ -858,31 +829,31 @@ func (e *encoder) softConstraints() {
 	// one per adjacency (canonical direction) and one per redistribution
 	// edge.
 	if !e.freezeAll {
-		for _, s := range e.h.Slots {
-			key := s.Key()
+		for si, s := range e.tb.slots {
 			switch s.Kind {
 			case arc.SlotInterDevice:
-				if e.canonical[key] != key {
+				if e.tb.canon[si] != si {
 					continue // the reverse direction carries the soft
 				}
 			case arc.SlotIntraRedist:
 			default:
 				continue
 			}
-			dev := s.FromProc.Device.Name
+			dev := e.tb.procDev[e.tb.fromProc[si]]
 			if s.Kind == arc.SlotIntraRedist {
-				dev = s.ToProc.Device.Name
+				dev = e.tb.procDev[e.tb.toProc[si]]
 			}
-			if e.st.All[key] {
-				e.soft(dev, e.eA(s))
+			if e.st.All[e.tb.key[si]] {
+				e.soft(dev, e.eA(si))
 			} else {
-				e.soft(dev, formula.Not(e.eA(s)))
+				e.soft(dev, formula.Not(e.eA(si)))
 			}
 		}
 	}
 	// Cost softs: keep each interface cost unchanged (one line per
 	// change). CostKey is "<device>/<interface>".
-	for ck, vec := range e.costVecs {
+	for _, ck := range e.costOrder {
+		vec := e.costVecs[ck]
 		orig := e.st.Cost[ck]
 		max := int64(1)<<uint(e.opts.CostBits) - 1
 		if orig > max {
@@ -899,8 +870,8 @@ func (e *encoder) softConstraints() {
 	// configuration; attribute them to a pseudo-device per link.
 	// Their weight is configurable — placing a firewall typically costs
 	// more than editing a configuration line.
-	for name, f := range e.wedgeVars {
-		e.softWeighted("link:"+name, formula.Not(f), e.opts.WaypointWeight)
+	for _, name := range e.wedgeOrder {
+		e.softWeighted("link:"+name, formula.Not(e.wedgeVars[name]), e.opts.WaypointWeight)
 	}
 	e.finalizeSofts()
 }
@@ -916,59 +887,50 @@ func (e *encoder) solve(ctx context.Context) (int, sat.Status) {
 // follow-the-parent rule for unsolved levels afterwards.
 func (e *encoder) extract(out *harc.State) {
 	if !e.freezeAll {
-		for _, s := range e.h.Slots {
-			var name string
+		for si, s := range e.tb.slots {
 			switch s.Kind {
-			case arc.SlotInterDevice:
-				name = e.canonical[s.Key()]
-			case arc.SlotIntraRedist:
-				name = s.Key()
+			case arc.SlotInterDevice, arc.SlotIntraRedist:
 			default:
 				continue // self edges are constant; attach slots have no aETG level
 			}
-			if e.b.HasVar("eA|" + name) {
-				out.All[s.Key()] = e.b.Value(vA(name))
+			if f := e.aVar[e.tb.canon[si]]; f != nil && e.b.AllocatedVar(f) {
+				out.All[e.tb.key[si]] = e.b.Value(f)
 			}
 		}
 	}
-	for _, dst := range e.dsts {
+	for dl, dst := range e.dsts {
 		dm := out.Dst[dst.Name]
-		for _, s := range e.h.Slots {
-			if !applicableDst(s, dst) {
-				continue
+		for _, si := range e.tb.dst[dst.Name].slots {
+			key := e.tb.key[si]
+			if f := e.dVar[dl][si]; e.b.AllocatedVar(f) {
+				dm[key] = e.b.Value(f)
 			}
-			name := "eD|" + dst.Name + "|" + s.Key()
-			if e.b.HasVar(name) {
-				dm[s.Key()] = e.b.Value(formula.Var(name))
-			}
-			switch s.Kind {
+			switch e.tb.slots[si].Kind {
 			case arc.SlotIntraSelf:
-				rfName := "rf|" + dst.Name + "|" + s.FromProc.Name()
-				if e.b.HasVar(rfName) {
-					out.RouteFilter[harc.RFKey(dst.Name, s.FromProc.Name())] = e.b.Value(formula.Var(rfName))
+				pi := e.tb.fromProc[si]
+				if f := e.rfVar[dl][pi]; e.b.AllocatedVar(f) {
+					out.RouteFilter[harc.RFKey(dst.Name, e.tb.procName[pi])] = e.b.Value(f)
 				}
 			case arc.SlotInterDevice:
-				stName := "st|" + dst.Name + "|" + s.Key()
-				if e.b.HasVar(stName) {
-					out.Static[harc.StaticKey(dst.Name, s.Key())] = e.b.Value(formula.Var(stName))
+				if f := e.stVar[dl][si]; e.b.AllocatedVar(f) {
+					out.Static[harc.StaticKey(dst.Name, key)] = e.b.Value(f)
 				}
 			}
 		}
 	}
-	for _, tc := range e.tcs {
+	for tl, tc := range e.tcs {
 		m := out.TC[tc.Key()]
-		for _, s := range e.tcSlots(tc) {
-			name := "eT|" + tc.String() + "|" + s.Key()
-			if e.b.HasVar(name) {
-				m[s.Key()] = e.b.Value(formula.Var(name))
+		for _, si := range e.tb.tc[tc.Key()].slots {
+			if f := e.tVar[tl][si]; e.b.AllocatedVar(f) {
+				m[e.tb.key[si]] = e.b.Value(f)
 			}
 		}
 	}
-	for ck, vec := range e.costVecs {
-		out.Cost[ck] = int64(bv.Value(e.b, vec))
+	for _, ck := range e.costOrder {
+		out.Cost[ck] = int64(bv.Value(e.b, e.costVecs[ck]))
 	}
-	for name, f := range e.wedgeVars {
-		if e.b.Value(f) {
+	for _, name := range e.wedgeOrder {
+		if e.b.Value(e.wedgeVars[name]) {
 			out.Waypoint[name] = true
 		}
 	}

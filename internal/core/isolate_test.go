@@ -37,7 +37,10 @@ func dcInstance(t *testing.T) *generate.Instance {
 func TestRepairCtxCancelMidFanoutPartialResult(t *testing.T) {
 	inst := dcInstance(t)
 	h := inst.Harc()
-	opts := DefaultOptions() // per-dst, isolation on, Parallelism 1
+	opts := DefaultOptions() // per-dst, isolation on
+	// The cancellation point below counts encode entries, which requires
+	// sequential ordered dispatch.
+	opts.Parallelism = 1
 
 	baseline, err := Repair(h, inst.Policies, opts)
 	if err != nil {

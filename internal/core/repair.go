@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -137,8 +138,12 @@ type Options struct {
 	Granularity Granularity
 	Algorithm   maxsat.Algorithm
 	Objective   Objective
-	// Parallelism bounds concurrent per-destination solves (≤1 means
-	// sequential).
+	// Parallelism bounds concurrent per-destination solves. Zero (the
+	// default) means runtime.GOMAXPROCS(0) — one worker per available
+	// core, matching cprd's -workers convention; negative values are
+	// treated as 1 (sequential). Results are byte-identical at every
+	// setting: sub-problems are scheduled largest-first for wall-clock,
+	// but models are extracted and merged in deterministic problem order.
 	Parallelism int
 	// CostBits is the bit width of PC4 edge-cost variables (costs range
 	// 1..2^CostBits-1).
@@ -174,6 +179,18 @@ type Options struct {
 // isolation when Options.RetryAttempts is zero.
 const defaultRetryAttempts = 3
 
+// workerCount resolves Options.Parallelism: zero means one worker per
+// available core, negative means sequential.
+func (o Options) workerCount() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
 // budgetEscalation multiplies the conflict budget on each isolated
 // retry, so a sub-problem that merely needed more search gets it before
 // the fallback fires.
@@ -183,9 +200,10 @@ const budgetEscalation = 4
 // evaluation reproduction, with per-destination fault isolation on.
 func DefaultOptions() Options {
 	return Options{
-		Granularity:          PerDst,
-		Algorithm:            maxsat.LinearDescent,
-		Parallelism:          1,
+		Granularity: PerDst,
+		Algorithm:   maxsat.LinearDescent,
+		Parallelism: 0, // all available cores
+
 		CostBits:             4,
 		DistBits:             8,
 		AllowWaypointChanges: true,
@@ -332,15 +350,18 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 	if err != nil {
 		return nil, err
 	}
+	// The read-only tables are shared by every sub-problem encoder,
+	// including across parallel workers.
+	tb := newTables(h, problems)
 
 	// Isolation applies to the per-destination decomposition, whose
 	// sub-problems are naturally independent; the single all-tcs problem
 	// has no siblings to protect.
 	isolated := opts.Isolation == IsolationOn && opts.Granularity == PerDst
 	if isolated {
-		runIsolated(ctx, h, orig, problems, opts)
+		runIsolated(ctx, h, tb, orig, problems, opts)
 	} else {
-		if err := runFailFast(ctx, h, orig, problems, opts); err != nil {
+		if err := runFailFast(ctx, tb, orig, problems, opts); err != nil {
 			return nil, err
 		}
 		if err := ctx.Err(); err != nil {
@@ -475,20 +496,35 @@ func buildProblems(h *harc.HARC, policies []policy.Policy, opts Options) ([]*pro
 	return problems, nil
 }
 
+// scheduleOrder returns the problems largest-first (stable on the
+// original order for ties), so the parallel fan-out never strands the
+// biggest sub-problem at the tail of the schedule. Scheduling order is
+// invisible in results: RepairCtx merges models in original problem
+// order and sorts Stats by label.
+func scheduleOrder(problems []*problem) []*problem {
+	out := make([]*problem, len(problems))
+	copy(out, problems)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].sizeHint() > out[j].sizeHint()
+	})
+	return out
+}
+
+// sizeHint estimates a sub-problem's encoding size for scheduling.
+// Traffic classes dominate the variable count; policies break ties.
+func (pr *problem) sizeHint() int { return len(pr.tcs)*16 + len(pr.policies) }
+
 // runFailFast is the legacy fan-out: build and solve each problem (in
 // parallel for per-dst); the first error aborts the batch.
-func runFailFast(ctx context.Context, h *harc.HARC, orig *harc.State, problems []*problem, opts Options) error {
-	workers := opts.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
+func runFailFast(ctx context.Context, tb *tables, orig *harc.State, problems []*problem, opts Options) error {
+	workers := opts.workerCount()
 	var (
 		wg       sync.WaitGroup
 		sem      = make(chan struct{}, workers)
 		mu       sync.Mutex
 		firstErr error
 	)
-	for _, pr := range problems {
+	for _, pr := range scheduleOrder(problems) {
 		wg.Add(1)
 		go func(pr *problem) {
 			defer wg.Done()
@@ -498,7 +534,7 @@ func runFailFast(ctx context.Context, h *harc.HARC, orig *harc.State, problems [
 				return // cancelled while queued; RepairCtx reports ctx.Err()
 			}
 			t0 := time.Now()
-			enc := newEncoder(h, orig, pr.tcs, pr.policies, pr.freeze, opts)
+			enc := newEncoder(tb, orig, pr.tcs, pr.policies, pr.freeze, opts)
 			if err := enc.encode(ctx); err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -527,14 +563,11 @@ func runFailFast(ctx context.Context, h *harc.HARC, orig *harc.State, problems [
 }
 
 // runIsolated is the fault-isolated fan-out: a fixed worker pool drains
-// the problem list in order (deterministic under Parallelism 1), and
-// every problem resolves to solved, degraded, or failed — never to an
-// aborted batch.
-func runIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, problems []*problem, opts Options) {
-	workers := opts.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
+// the problem queue largest-first (deterministic dispatch under
+// Parallelism 1), and every problem resolves to solved, degraded, or
+// failed — never to an aborted batch.
+func runIsolated(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.State, problems []*problem, opts Options) {
+	workers := opts.workerCount()
 	attempts := opts.RetryAttempts
 	if attempts < 1 {
 		attempts = defaultRetryAttempts
@@ -542,7 +575,7 @@ func runIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, problems [
 	var pending atomic.Int64
 	pending.Store(int64(len(problems)))
 	queue := make(chan *problem, len(problems))
-	for _, pr := range problems {
+	for _, pr := range scheduleOrder(problems) {
 		queue <- pr
 	}
 	close(queue)
@@ -552,7 +585,7 @@ func runIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, problems [
 		go func() {
 			defer wg.Done()
 			for pr := range queue {
-				solveIsolated(ctx, h, orig, pr, opts, attempts, workers, &pending)
+				solveIsolated(ctx, h, tb, orig, pr, opts, attempts, workers, &pending)
 				pending.Add(-1)
 			}
 		}()
@@ -561,7 +594,7 @@ func runIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, problems [
 }
 
 // solveIsolated drives one sub-problem to a terminal outcome.
-func solveIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, pr *problem, opts Options, attempts, workers int, pending *atomic.Int64) {
+func solveIsolated(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.State, pr *problem, opts Options, attempts, workers int, pending *atomic.Int64) {
 	t0 := time.Now()
 	defer func() { pr.stat.Duration = time.Since(t0) }()
 
@@ -575,7 +608,7 @@ func solveIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, pr *prob
 		}
 		pr.stat.Attempts = attempt
 		wctx, cancel := watchdogCtx(ctx, opts, workers, pending)
-		enc, cost, status, err := solveOnce(wctx, h, orig, pr, budget, opts, attempt)
+		enc, cost, status, err := solveOnce(wctx, tb, orig, pr, budget, opts, attempt)
 		cancel()
 		if enc != nil {
 			pr.enc = enc
@@ -620,7 +653,7 @@ func solveIsolated(ctx context.Context, h *harc.HARC, orig *harc.State, pr *prob
 // Panics anywhere in encoding or search are recovered into SolveErrors,
 // so a pathological destination cannot kill the process or its sibling
 // solves.
-func solveOnce(ctx context.Context, h *harc.HARC, orig *harc.State, pr *problem, budget int64, opts Options, attempt int) (enc *encoder, cost int, status sat.Status, err error) {
+func solveOnce(ctx context.Context, tb *tables, orig *harc.State, pr *problem, budget int64, opts Options, attempt int) (enc *encoder, cost int, status sat.Status, err error) {
 	phase := "encode"
 	defer func() {
 		if r := recover(); r != nil {
@@ -630,7 +663,7 @@ func solveOnce(ctx context.Context, h *harc.HARC, orig *harc.State, pr *problem,
 	}()
 	o := opts
 	o.ConflictBudget = budget
-	enc = newEncoder(h, orig, pr.tcs, pr.policies, pr.freeze, o)
+	enc = newEncoder(tb, orig, pr.tcs, pr.policies, pr.freeze, o)
 	if eerr := enc.encode(ctx); eerr != nil {
 		return enc, 0, sat.Unknown, &SolveError{Label: pr.label, Phase: "encode", Attempt: attempt, Err: eerr}
 	}

@@ -1,0 +1,50 @@
+// Package prof wires Go's runtime profilers to CLI flags: a CPU profile
+// recorded for the lifetime of the run and a heap profile written at
+// exit. The profiles feed `go tool pprof`, which is how the encode→solve
+// hot path numbers in EXPERIMENTS.md were gathered.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the given output paths; empty paths disable
+// the corresponding profiler. The returned stop function finishes the
+// CPU profile and writes the heap profile, and must run before the
+// process exits (call it explicitly — os.Exit skips deferred calls).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // materialize recent allocations in the heap profile
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

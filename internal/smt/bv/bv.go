@@ -40,6 +40,17 @@ func New(name string, width int) Vec {
 	return out
 }
 
+// Fresh returns a width-bit vector of fresh anonymous pool variables.
+// The pooled analogue of New for encoders that track vectors by ID
+// tables instead of names.
+func Fresh(p *formula.Pool, width int) Vec {
+	out := make(Vec, width)
+	for i := range out {
+		out[i] = p.Fresh()
+	}
+	return out
+}
+
 // Width returns the bit width.
 func (v Vec) Width() int { return len(v) }
 

@@ -26,11 +26,14 @@ const (
 )
 
 // F is an immutable boolean formula node. Construct via the package
-// functions; the zero value is not meaningful.
+// functions; the zero value is not meaningful. Nodes created through a
+// Pool additionally carry an integer ID for dense Builder lookups.
 type F struct {
 	op   Op
 	name string
 	kids []*F
+	pool *Pool
+	id   int32
 }
 
 // True and False are the boolean constants.
@@ -43,6 +46,90 @@ var (
 // denote the same SAT variable within one Builder.
 func Var(name string) *F { return &F{op: OpVar, name: name} }
 
+// Pool hash-conses formula nodes into integer-ID, slice-backed storage.
+// Structurally identical composites built from pooled operands return
+// the same *F, so node identity is pointer identity and a Builder can
+// cache Tseitin literals in a dense slice instead of a map. A Pool is
+// not safe for concurrent use; encoders own one pool each.
+type Pool struct {
+	nodes   []*F
+	byName  map[string]*F
+	buckets map[uint64][]*F
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{byName: make(map[string]*F), buckets: make(map[uint64][]*F)}
+}
+
+// Size returns the number of interned nodes.
+func (p *Pool) Size() int { return len(p.nodes) }
+
+// Var returns the pool's variable node for name, interning on first use.
+func (p *Pool) Var(name string) *F {
+	if f, ok := p.byName[name]; ok {
+		return f
+	}
+	f := p.newNode(OpVar, name, nil)
+	p.byName[name] = f
+	return f
+}
+
+// Fresh returns a new anonymous variable node, distinct from every other
+// node in the pool. Fresh variables skip string naming entirely — the
+// encoder's precomputed ID tables make names unnecessary on the hot path.
+func (p *Pool) Fresh() *F { return p.newNode(OpVar, "", nil) }
+
+func (p *Pool) newNode(op Op, name string, kids []*F) *F {
+	f := &F{op: op, name: name, kids: kids, pool: p, id: int32(len(p.nodes))}
+	p.nodes = append(p.nodes, f)
+	return f
+}
+
+// intern returns the pooled node for (op, kids), hash-consing on the
+// kids' IDs. All kids must already belong to this pool.
+func (p *Pool) intern(op Op, kids []*F) *F {
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(op)) * 1099511628211
+	for _, k := range kids {
+		h = (h ^ uint64(uint32(k.id))) * 1099511628211
+	}
+	for _, f := range p.buckets[h] {
+		if f.op == op && len(f.kids) == len(kids) {
+			same := true
+			for i, k := range f.kids {
+				if k != kids[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return f
+			}
+		}
+	}
+	f := p.newNode(op, "", kids)
+	p.buckets[h] = append(p.buckets[h], f)
+	return f
+}
+
+// poolOf returns the common pool of kids, or nil if any kid is unpooled
+// or the kids span distinct pools.
+func poolOf(kids []*F) *Pool {
+	var p *Pool
+	for _, k := range kids {
+		if k.pool == nil {
+			return nil
+		}
+		if p == nil {
+			p = k.pool
+		} else if p != k.pool {
+			return nil
+		}
+	}
+	return p
+}
+
 // Not negates f, folding constants and double negation.
 func Not(f *F) *F {
 	switch f.op {
@@ -52,6 +139,9 @@ func Not(f *F) *F {
 		return True
 	case OpNot:
 		return f.kids[0]
+	}
+	if f.pool != nil {
+		return f.pool.intern(OpNot, []*F{f})
 	}
 	return &F{op: OpNot, kids: []*F{f}}
 }
@@ -77,6 +167,9 @@ func And(fs ...*F) *F {
 	case 1:
 		return kids[0]
 	}
+	if p := poolOf(kids); p != nil {
+		return p.intern(OpAnd, kids)
+	}
 	return &F{op: OpAnd, kids: kids}
 }
 
@@ -101,6 +194,9 @@ func Or(fs ...*F) *F {
 	case 1:
 		return kids[0]
 	}
+	if p := poolOf(kids); p != nil {
+		return p.intern(OpOr, kids)
+	}
 	return &F{op: OpOr, kids: kids}
 }
 
@@ -124,6 +220,9 @@ func (f *F) String() string {
 	case OpFalse:
 		return "false"
 	case OpVar:
+		if f.name == "" && f.pool != nil {
+			return fmt.Sprintf("v%d", f.id)
+		}
 		return f.name
 	case OpNot:
 		return "!" + f.kids[0].String()
@@ -142,11 +241,18 @@ func (f *F) String() string {
 }
 
 // Builder maps formulas onto a SAT solver: named variables to solver
-// variables and composite nodes to Tseitin-defined literals.
+// variables and composite nodes to Tseitin-defined literals. A builder
+// attached to a Pool (NewPooledBuilder) caches pooled nodes in a dense
+// ID-indexed slice; name-keyed and pointer-keyed maps remain only as the
+// fallback for unpooled nodes.
 type Builder struct {
 	S     *sat.Solver
+	pool  *Pool
 	vars  map[string]sat.Var
 	cache map[*F]sat.Lit
+	// nodeLits caches literals for pooled nodes, indexed by node ID.
+	// Entries store lit+1 so the zero value means "unset".
+	nodeLits []sat.Lit
 	// constTrue is a literal asserted true, used for constant nodes.
 	constTrue sat.Lit
 	hasConst  bool
@@ -155,6 +261,46 @@ type Builder struct {
 // NewBuilder wraps a solver.
 func NewBuilder(s *sat.Solver) *Builder {
 	return &Builder{S: s, vars: make(map[string]sat.Var), cache: make(map[*F]sat.Lit)}
+}
+
+// NewPooledBuilder wraps a solver with dense literal caching for nodes
+// of pool p.
+func NewPooledBuilder(s *sat.Solver, p *Pool) *Builder {
+	b := NewBuilder(s)
+	b.pool = p
+	return b
+}
+
+// pooledLit returns the cached literal of a pooled node, or ok=false.
+func (b *Builder) pooledLit(f *F) (sat.Lit, bool) {
+	if int(f.id) >= len(b.nodeLits) {
+		return 0, false
+	}
+	l := b.nodeLits[f.id]
+	if l == 0 {
+		return 0, false
+	}
+	return l - 1, true
+}
+
+// setPooledLit caches the literal of a pooled node. The cache grows
+// geometrically: the pool keeps interning nodes while constraints are
+// emitted, so sizing to the pool's current size would reallocate on
+// nearly every new node.
+func (b *Builder) setPooledLit(f *F, l sat.Lit) {
+	if int(f.id) >= len(b.nodeLits) {
+		n := 2 * len(b.nodeLits)
+		if n < int(f.id)+1 {
+			n = int(f.id) + 1
+		}
+		if n < 64 {
+			n = 64
+		}
+		grown := make([]sat.Lit, n)
+		copy(grown, b.nodeLits)
+		b.nodeLits = grown
+	}
+	b.nodeLits[f.id] = l + 1
 }
 
 // VarLit returns (allocating on first use) the solver variable for name.
@@ -172,6 +318,32 @@ func (b *Builder) VarLit(name string) sat.Lit {
 func (b *Builder) Prefer(name string, val bool) {
 	l := b.VarLit(name)
 	b.S.SetPhase(l.Var(), val)
+}
+
+// PreferF seeds the solver's branching polarity for a variable node,
+// allocating its solver variable on first use. The ID-indexed analogue
+// of Prefer for pooled anonymous variables.
+func (b *Builder) PreferF(f *F, val bool) {
+	b.S.SetPhase(b.Lit(f).Var(), val)
+}
+
+// AllocatedVar reports whether the variable node f already has a solver
+// variable, without allocating one. The node-based analogue of HasVar
+// for pooled anonymous variables.
+func (b *Builder) AllocatedVar(f *F) bool {
+	if f.op != OpVar {
+		return false
+	}
+	if f.name != "" {
+		_, ok := b.vars[f.name]
+		return ok
+	}
+	if b.pool != nil && f.pool == b.pool {
+		_, ok := b.pooledLit(f)
+		return ok
+	}
+	_, ok := b.cache[f]
+	return ok
 }
 
 // HasVar reports whether a named variable has been allocated.
@@ -202,19 +374,44 @@ func (b *Builder) trueLit() sat.Lit {
 }
 
 // Lit returns a solver literal equivalent to f, introducing Tseitin
-// definitions for composite nodes (cached per node).
+// definitions for composite nodes (cached per node). Pooled nodes hit a
+// dense ID-indexed cache; hash-consing makes structurally identical
+// pooled composites share one Tseitin definition.
 func (b *Builder) Lit(f *F) sat.Lit {
+	dense := b.pool != nil && f.pool == b.pool
 	switch f.op {
 	case OpTrue:
 		return b.trueLit()
 	case OpFalse:
 		return b.trueLit().Not()
 	case OpVar:
-		return b.VarLit(f.name)
+		if f.name != "" {
+			// Named variables unify by name across pooled and legacy
+			// construction, preserving Var's contract.
+			return b.VarLit(f.name)
+		}
+		if dense {
+			if l, ok := b.pooledLit(f); ok {
+				return l
+			}
+			l := sat.MkLit(b.S.NewVar(), false)
+			b.setPooledLit(f, l)
+			return l
+		}
+		if l, ok := b.cache[f]; ok {
+			return l
+		}
+		l := sat.MkLit(b.S.NewVar(), false)
+		b.cache[f] = l
+		return l
 	case OpNot:
 		return b.Lit(f.kids[0]).Not()
 	}
-	if l, ok := b.cache[f]; ok {
+	if dense {
+		if l, ok := b.pooledLit(f); ok {
+			return l
+		}
+	} else if l, ok := b.cache[f]; ok {
 		return l
 	}
 	kidLits := make([]sat.Lit, len(f.kids))
@@ -245,7 +442,11 @@ func (b *Builder) Lit(f *F) sat.Lit {
 	default:
 		panic(fmt.Sprintf("formula: unexpected op %d", f.op))
 	}
-	b.cache[f] = l
+	if dense {
+		b.setPooledLit(f, l)
+	} else {
+		b.cache[f] = l
+	}
 	return l
 }
 
@@ -297,6 +498,20 @@ func (b *Builder) Value(f *F) bool {
 	case OpFalse:
 		return false
 	case OpVar:
+		if f.name == "" && f.pool != nil {
+			// Anonymous pooled variable: read the cached literal without
+			// allocating (unallocated variables default to false).
+			if b.pool == f.pool {
+				if l, ok := b.pooledLit(f); ok {
+					return b.S.Value(l.Var())
+				}
+				return false
+			}
+			if l, ok := b.cache[f]; ok {
+				return b.S.Value(l.Var())
+			}
+			return false
+		}
 		v, ok := b.vars[f.name]
 		if !ok {
 			return false // unconstrained variable defaults to false

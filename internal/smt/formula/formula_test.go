@@ -155,8 +155,15 @@ func TestTseitinCacheReuse(t *testing.T) {
 
 // randomFormula builds a random formula over nvars variables.
 func randomFormula(r *rand.Rand, depth, nvars int) *F {
+	return randomFormulaWith(r, depth, nvars, Var)
+}
+
+// randomFormulaWith is randomFormula with the variable constructor
+// abstracted, so the pooled differential tests can replay the identical
+// rand sequence through Pool.Var.
+func randomFormulaWith(r *rand.Rand, depth, nvars int, mkVar func(string) *F) *F {
 	if depth == 0 || r.Intn(3) == 0 {
-		v := Var(string(rune('a' + r.Intn(nvars))))
+		v := mkVar(string(rune('a' + r.Intn(nvars))))
 		if r.Intn(2) == 0 {
 			return Not(v)
 		}
@@ -165,7 +172,7 @@ func randomFormula(r *rand.Rand, depth, nvars int) *F {
 	n := 2 + r.Intn(2)
 	kids := make([]*F, n)
 	for i := range kids {
-		kids[i] = randomFormula(r, depth-1, nvars)
+		kids[i] = randomFormulaWith(r, depth-1, nvars, mkVar)
 	}
 	switch r.Intn(4) {
 	case 0:

@@ -1,0 +1,131 @@
+package formula
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/smt/sat"
+)
+
+func TestPoolHashConsingIdentity(t *testing.T) {
+	p := NewPool()
+	a, b := p.Var("a"), p.Var("b")
+	if p.Var("a") != a {
+		t.Error("Pool.Var not interned: second lookup returned a new node")
+	}
+	if And(a, b) != And(a, b) {
+		t.Error("structurally identical And nodes not hash-consed")
+	}
+	if Or(a, Not(b)) != Or(a, Not(b)) {
+		t.Error("structurally identical Or/Not nodes not hash-consed")
+	}
+	if Implies(a, b) != Implies(a, b) {
+		t.Error("structurally identical Implies nodes not hash-consed")
+	}
+	if And(a, b) == And(b, a) {
+		t.Error("distinct kid orders must be distinct nodes (And does not sort)")
+	}
+	// Constants fold away before interning, so mixing them in keeps the
+	// result pooled and identical.
+	if And(a, True, b) != And(a, b) {
+		t.Error("constant folding should reach the same pooled node")
+	}
+}
+
+func TestPoolFreshDistinct(t *testing.T) {
+	p := NewPool()
+	f1, f2 := p.Fresh(), p.Fresh()
+	if f1 == f2 {
+		t.Fatal("Fresh returned the same node twice")
+	}
+	s := sat.New()
+	b := NewPooledBuilder(s, p)
+	b.Assert(f1)
+	b.Assert(Not(f2))
+	if s.Solve() != sat.Sat {
+		t.Fatal("distinct fresh vars must be independently assignable")
+	}
+	if !b.Value(f1) || b.Value(f2) {
+		t.Error("fresh var model values wrong")
+	}
+}
+
+// Property: a pooled formula is pointer-identical when rebuilt from the
+// same rand sequence, and logically equivalent to its legacy (unpooled)
+// twin — Xor(legacy, pooled) is UNSAT in one builder, since named vars
+// unify across pooled and unpooled nodes.
+func TestPooledDifferentialTseitin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nvars := 2 + r.Intn(4)
+		depth := 1 + r.Intn(3)
+		legacy := randomFormulaWith(rand.New(rand.NewSource(seed+1)), depth, nvars, Var)
+
+		p := NewPool()
+		pooled := randomFormulaWith(rand.New(rand.NewSource(seed+1)), depth, nvars, p.Var)
+		again := randomFormulaWith(rand.New(rand.NewSource(seed+1)), depth, nvars, p.Var)
+		if pooled != again {
+			t.Logf("seed %d: replaying the rand sequence produced a different pooled node", seed)
+			return false
+		}
+
+		s := sat.New()
+		b := NewPooledBuilder(s, p)
+		b.Assert(Xor(legacy, pooled))
+		if st := s.Solve(); st != sat.Unsat {
+			t.Logf("seed %d: legacy %s != pooled %s (status %v)", seed, legacy, pooled, st)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: satisfiability through a pooled builder matches brute force,
+// mirroring TestDifferentialTseitin for the dense-cache code path.
+func TestPooledTseitinMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nvars := 2 + r.Intn(4)
+		p := NewPool()
+		form := randomFormulaWith(r, 3, nvars, p.Var)
+
+		varSet := map[string]bool{}
+		collectVars(form, varSet)
+		var names []string
+		for n := range varSet {
+			names = append(names, n)
+		}
+		bruteSat := false
+		for mask := 0; mask < 1<<len(names); mask++ {
+			assign := map[string]bool{}
+			for i, n := range names {
+				assign[n] = mask&(1<<i) != 0
+			}
+			if evalBrute(form, assign) {
+				bruteSat = true
+				break
+			}
+		}
+
+		s := sat.New()
+		b := NewPooledBuilder(s, p)
+		b.Assert(form)
+		gotSat := s.Solve() == sat.Sat
+		if gotSat != bruteSat {
+			t.Logf("seed %d: formula %s: sat=%v brute=%v", seed, form, gotSat, bruteSat)
+			return false
+		}
+		if gotSat && !b.Value(form) {
+			t.Logf("seed %d: model does not satisfy %s", seed, form)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -59,11 +59,22 @@ func SolveWeighted(s *sat.Solver, softs []sat.Lit, weights []int, algo Algorithm
 	if len(weights) != len(softs) {
 		panic("maxsat: weights and softs length mismatch")
 	}
-	var expanded []sat.Lit
-	for i, l := range softs {
-		if weights[i] < 0 {
+	unit := true
+	for _, w := range weights {
+		if w < 0 {
 			panic("maxsat: negative soft weight")
 		}
+		if w != 1 {
+			unit = false
+		}
+	}
+	if unit {
+		// The common case — Table 2's softs are unit weight unless the
+		// waypoint weight is raised — needs no duplication at all.
+		return Solve(s, softs, algo)
+	}
+	expanded := make([]sat.Lit, 0, len(softs))
+	for i, l := range softs {
 		for w := 0; w < weights[i]; w++ {
 			expanded = append(expanded, l)
 		}

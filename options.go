@@ -18,7 +18,9 @@ type OptionFlags struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	// Objective is "min-lines" (default) or "min-devices".
 	Objective string `json:"objective,omitempty"`
-	// Parallelism bounds concurrent per-destination solves (≤0 = 1).
+	// Parallelism bounds concurrent per-destination solves. Zero (the
+	// default) means one worker per core (runtime.GOMAXPROCS); negative
+	// values are rejected. Results are identical at every setting.
 	Parallelism int `json:"parallelism,omitempty"`
 	// ConflictBudget bounds each SAT call (0 = unlimited).
 	ConflictBudget int64 `json:"conflict_budget,omitempty"`
@@ -65,9 +67,10 @@ func (f OptionFlags) Resolve() (Options, error) {
 	default:
 		return opts, fmt.Errorf("unknown objective %q (want min-lines or min-devices)", f.Objective)
 	}
-	if f.Parallelism > 0 {
-		opts.Parallelism = f.Parallelism
+	if f.Parallelism < 0 {
+		return opts, fmt.Errorf("negative parallelism %d", f.Parallelism)
 	}
+	opts.Parallelism = f.Parallelism
 	if f.ConflictBudget < 0 {
 		return opts, fmt.Errorf("negative conflict budget %d", f.ConflictBudget)
 	}
