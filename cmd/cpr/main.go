@@ -33,6 +33,7 @@ func main() {
 		policyFile = flag.String("policies", "", "policy specification file; omit to infer policies")
 		outDir     = flag.String("out", "", "directory to write patched configurations")
 		verifyOnly = flag.Bool("verify", false, "verify only; do not repair")
+		showStats  = flag.Bool("stats", true, "print per-problem and solver statistics after a repair")
 		granFlag   = flag.String("granularity", "per-dst", "MaxSMT granularity: per-dst or all-tcs")
 		algoFlag   = flag.String("algorithm", "linear", "MaxSAT algorithm: linear or fu-malik")
 		objFlag    = flag.String("objective", "min-lines", "minimality objective: min-lines or min-devices")
@@ -69,7 +70,7 @@ func main() {
 		DstTimeoutMS:   dstTimeout.Milliseconds(),
 		NoFallback:     *noFallback,
 	}
-	runErr := run(*configDir, *policyFile, *outDir, *verifyOnly, optFlags, *timeout)
+	runErr := run(*configDir, *policyFile, *outDir, *verifyOnly, *showStats, optFlags, *timeout)
 	if perr := stopProf(); perr != nil && runErr == nil {
 		runErr = perr
 	}
@@ -79,7 +80,7 @@ func main() {
 	}
 }
 
-func run(configDir, policyFile, outDir string, verifyOnly bool, optFlags cpr.OptionFlags, timeout time.Duration) error {
+func run(configDir, policyFile, outDir string, verifyOnly, showStats bool, optFlags cpr.OptionFlags, timeout time.Duration) error {
 	texts, err := readConfigs(configDir)
 	if err != nil {
 		return err
@@ -129,7 +130,9 @@ func run(configDir, policyFile, outDir string, verifyOnly bool, optFlags cpr.Opt
 	if err != nil {
 		return err
 	}
-	printStats(rep.Result)
+	if showStats {
+		printStats(rep.Result)
+	}
 	if !rep.Usable() {
 		return fmt.Errorf("no repair found (specification unsatisfiable or budget exhausted)")
 	}
@@ -177,6 +180,10 @@ func printStats(res *core.Result) {
 			st.Label, st.TCs, st.Policies, st.Vars, st.Softs, st.Violations,
 			st.Duration.Round(1e5), st.Status, extra)
 	}
+	sv := res.Solver
+	fmt.Printf("solver: conflicts=%d decisions=%d propagations=%d (binary %d) restarts=%d learned-lits=%d db-reductions=%d arena-gcs=%d\n",
+		sv.Conflicts, sv.Decisions, sv.Propagations, sv.BinaryProps,
+		sv.Restarts, sv.LearnedLits, sv.DBReductions, sv.ArenaGCs)
 }
 
 func readConfigs(dir string) (map[string]string, error) {

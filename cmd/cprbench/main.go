@@ -31,10 +31,15 @@ import (
 	"time"
 )
 
-// HeadlineBenchmarks are the three benchmarks tracked across PRs: the
-// Figure 2a repair encoding, the per-destination decomposition on a
-// mid-size data center, and the cprd warm repair path.
-const HeadlineBenchmarks = "BenchmarkTable2RepairEncodingFig2a|BenchmarkAblationGranularityPerDst|BenchmarkServerRepairWarm"
+// HeadlineBenchmarks are the benchmarks tracked across PRs: the Figure
+// 2a repair encoding, the per-destination decomposition on a mid-size
+// data center, the cprd warm repair path, and the SAT-core
+// microbenchmarks (conflict-heavy search, incremental assumptions, and
+// learned-clause reduction with arena GC).
+const HeadlineBenchmarks = "BenchmarkTable2RepairEncodingFig2a$|BenchmarkAblationGranularityPerDst$|BenchmarkServerRepairWarm$|BenchmarkSATPigeonhole$|BenchmarkSATIncrementalAssumptions$|BenchmarkSATReduceAndGC$"
+
+// HeadlinePackages are the packages holding the headline benchmarks.
+const HeadlinePackages = "repro,repro/internal/smt/sat"
 
 // Snapshot is the JSON shape of BENCH_baseline.json.
 type Snapshot struct {
@@ -66,7 +71,7 @@ func main() {
 		bench     = flag.String("bench", HeadlineBenchmarks, "benchmark regex to run")
 		count     = flag.Int("count", 5, "runs per benchmark")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
-		pkg       = flag.String("pkg", "repro", "package holding the benchmarks")
+		pkg       = flag.String("pkg", HeadlinePackages, "comma-separated packages holding the benchmarks")
 		out       = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -77,9 +82,11 @@ func main() {
 }
 
 func run(bench, benchtime, pkg, out string, count int) error {
-	cmd := exec.Command("go", "test", "-run", "^$",
+	args := []string{"test", "-run", "^$",
 		"-bench", bench, "-benchmem",
-		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg)
+		"-benchtime", benchtime, "-count", strconv.Itoa(count)}
+	args = append(args, strings.Split(pkg, ",")...)
+	cmd := exec.Command("go", args...)
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = os.Stderr

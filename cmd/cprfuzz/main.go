@@ -32,6 +32,7 @@ type oracle struct {
 var oracles = []oracle{
 	{"sat", crosscheck.CheckSAT},
 	{"maxsat", crosscheck.CheckMaxSAT},
+	{"arenagc", crosscheck.CheckArenaGC},
 	{"repair", crosscheck.CheckRepair},
 }
 
@@ -40,7 +41,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed; iteration i uses seed+i")
 		n        = flag.Int("n", 100, "iterations per oracle")
 		duration = flag.Duration("duration", 0, "time budget (overrides -n when set)")
-		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, or repair")
+		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, arenagc, or repair")
 		outDir   = flag.String("out", "", "directory for reproducer artifacts (default: a fresh temp dir)")
 	)
 	flag.Parse()
@@ -52,7 +53,7 @@ func main() {
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, or repair)\n", *which)
+		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, arenagc, or repair)\n", *which)
 		os.Exit(2)
 	}
 

@@ -177,11 +177,13 @@ func (e *ETG) WaypointEdge(id graph.E) bool {
 }
 
 // WithoutLinks returns a copy of the ETG with every inter-device edge over
-// one of the given (failed) physical links removed.
+// one of the given (failed) physical links removed. The copy shares the
+// original's vertex/edge storage (only removal flags are duplicated), so
+// it supports reachability queries but must not be extended.
 func (e *ETG) WithoutLinks(failed map[*topology.Link]bool) *ETG {
 	c := &ETG{
 		Level: e.Level, TC: e.TC, DstSubnet: e.DstSubnet,
-		G: e.G.Clone(), Src: e.Src, Dst: e.Dst,
+		G: e.G.CloneEdgesShared(), Src: e.Src, Dst: e.Dst,
 		SlotOf: e.SlotOf, EdgeOf: e.EdgeOf,
 	}
 	for id, s := range e.SlotOf {

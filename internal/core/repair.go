@@ -237,7 +237,10 @@ type ProblemStat struct {
 	// Conflicts is the SAT solver's conflict count for this sub-problem
 	// (summed across isolated attempts).
 	Conflicts int64
-	Duration  time.Duration
+	// Solver holds the full solver counter snapshot for this sub-problem
+	// (summed across isolated attempts); Solver.Conflicts == Conflicts.
+	Solver   sat.Stats
+	Duration time.Duration
 }
 
 // Result is the outcome of a Repair call.
@@ -261,7 +264,11 @@ type Result struct {
 	Repaired []policy.Policy
 	// Conflicts is the total SAT conflict count across sub-problems.
 	Conflicts int64
-	Stats     []ProblemStat
+	// Solver aggregates the solver counters (restarts, learned literals,
+	// DB reductions, arena GCs, binary propagations, ...) across
+	// sub-problems.
+	Solver sat.Stats
+	Stats  []ProblemStat
 	// Duration is the wall-clock time of the Repair call; Sequential sums
 	// the individual sub-problem durations (the paper's serial baseline).
 	Duration   time.Duration
@@ -376,6 +383,7 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 	for _, pr := range problems {
 		res.Sequential += pr.stat.Duration
 		res.Conflicts += pr.stat.Conflicts
+		res.Solver.Accumulate(pr.stat.Solver)
 		switch pr.stat.Outcome {
 		case OutcomeSolved:
 			res.Changes += pr.stat.Violations
@@ -551,6 +559,7 @@ func runFailFast(ctx context.Context, tb *tables, orig *harc.State, problems []*
 			pr.stat.Status = status
 			pr.stat.Attempts = 1
 			pr.stat.Conflicts = enc.s.Conflicts
+			pr.stat.Solver = enc.s.Snapshot()
 			pr.stat.Duration = time.Since(t0)
 			if status != sat.Sat {
 				pr.stat.Outcome = OutcomeFailed
@@ -615,6 +624,7 @@ func solveIsolated(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.Sta
 			pr.stat.Vars = enc.s.NumVars()
 			pr.stat.Softs = len(enc.softs)
 			pr.stat.Conflicts += enc.s.Conflicts
+			pr.stat.Solver.Accumulate(enc.s.Snapshot())
 		}
 		pr.stat.Status = status
 		if err == nil {

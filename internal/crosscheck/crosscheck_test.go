@@ -25,6 +25,22 @@ func TestMaxSATOracleSeeds(t *testing.T) {
 	}
 }
 
+func TestArenaGCOracleSeeds(t *testing.T) {
+	gcs, reductions, err := ArenaGCActivity(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The band must actually exercise the paths under test, or the oracle
+	// is vacuous: the tiny reduceDB trigger and waste threshold are tuned
+	// so dozens of compactions happen across 40 seeds.
+	if gcs == 0 {
+		t.Fatal("seed band never triggered an arena GC")
+	}
+	if reductions == 0 {
+		t.Fatal("seed band never triggered a DB reduction")
+	}
+}
+
 func TestRepairOracleSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repair oracle is slow in -short mode")
@@ -101,6 +117,17 @@ func FuzzMaxSAT(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := CheckMaxSAT(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzArenaGC(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckArenaGC(seed); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,130 @@
+package crosscheck
+
+import (
+	"math/rand"
+
+	"repro/internal/smt/sat"
+)
+
+// CheckArenaGC is the differential oracle for the solver's clause arena
+// under incremental use: one solver, configured so aggressively (tiny
+// reduceDB trigger, near-zero GC waste threshold) that learned-clause
+// deletion and arena compactions happen constantly, is driven through
+// interleaved AddClause batches and assumption solves. After every
+// solve — i.e. after any number of reduceDB passes, watcher rebuilds,
+// and reference remaps — its verdict and model are checked against the
+// brute-force oracle over the cumulative clause set. A non-nil error is
+// a *Divergence.
+func CheckArenaGC(seed int64) error {
+	_, _, err := runArenaGC(seed)
+	return err
+}
+
+// ArenaGCActivity runs the oracle over seeds 1..n and also reports the
+// total compactions and DB reductions triggered, so the seeded test can
+// assert the band actually exercises the GC path rather than vacuously
+// passing on instances that never compact.
+func ArenaGCActivity(n int64) (gcs, reductions int64, err error) {
+	for seed := int64(1); seed <= n; seed++ {
+		g, r, cerr := runArenaGC(seed)
+		gcs += g
+		reductions += r
+		if cerr != nil {
+			return gcs, reductions, cerr
+		}
+	}
+	return gcs, reductions, nil
+}
+
+func runArenaGC(seed int64) (gcs, reductions int64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	// Width-4 clauses near their satisfiability threshold: short clauses on
+	// small instances learn mostly binaries (which bypass the arena) at
+	// LBD ≤ coreLBD (which the reducer keeps forever), so only wide
+	// threshold instances — deep decision stacks, little propagation until
+	// late — accumulate the high-LBD arena learnts whose deletion feeds the
+	// GC. 12..15 vars keeps brute force affordable.
+	nVars := 12 + rng.Intn(4)
+	s := sat.New()
+	s.SetMaxLearned(1 + rng.Intn(4))
+	s.SetGCWasteFraction(0.01)
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+
+	var clauses [][]sat.Lit
+	addOK := true
+	addBatch := func(n int) {
+		for i := 0; i < n; i++ {
+			width := 4
+			seen := map[sat.Var]bool{}
+			var c []sat.Lit
+			for len(c) < width {
+				v := sat.Var(rng.Intn(nVars))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				c = append(c, sat.MkLit(v, rng.Intn(2) == 1))
+			}
+			clauses = append(clauses, c)
+			if !s.AddClause(c...) {
+				addOK = false
+			}
+		}
+	}
+
+	fail := func(d *Divergence) (int64, int64, error) {
+		return s.ArenaGCs, s.DBReductions, d
+	}
+	addBatch(nVars*9 + rng.Intn(nVars))
+	rounds := 5 + rng.Intn(5)
+	for round := 0; round < rounds; round++ {
+		var asm []sat.Lit
+		seen := map[sat.Var]bool{}
+		for n := rng.Intn(nVars / 2); len(asm) < n; {
+			v := sat.Var(rng.Intn(nVars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			asm = append(asm, sat.MkLit(v, rng.Intn(2) == 1))
+		}
+		st := s.Solve(asm...)
+		if st == sat.Unknown {
+			return fail(divf("arenagc", seed, "round %d: Unknown with no budget set", round))
+		}
+		want := addOK && bruteSAT(nVars, clauses, asm)
+		if (st == sat.Sat) != want {
+			return fail(divf("arenagc", seed,
+				"round %d (after %d GCs, %d reductions): solver says %v under %v, brute force says sat=%v",
+				round, s.ArenaGCs, s.DBReductions, st, asm, want))
+		}
+		if st == sat.Sat {
+			var model uint32
+			for v := 0; v < nVars; v++ {
+				if s.Value(sat.Var(v)) {
+					model |= 1 << uint(v)
+				}
+			}
+			for i, c := range clauses {
+				if !satisfies(c, model) {
+					return fail(divf("arenagc", seed,
+						"round %d (after %d GCs): model violates clause %d (%v)",
+						round, s.ArenaGCs, i, c))
+				}
+			}
+			for _, a := range asm {
+				if !s.ValueLit(a) {
+					return fail(divf("arenagc", seed,
+						"round %d (after %d GCs): model violates assumption %v",
+						round, s.ArenaGCs, a))
+				}
+			}
+		}
+		if addOK && rng.Intn(3) > 0 {
+			addBatch(1 + rng.Intn(6))
+		}
+	}
+	return s.ArenaGCs, s.DBReductions, nil
+}

@@ -67,6 +67,18 @@ func (g *Digraph) Clone() *Digraph {
 	return c
 }
 
+// CloneEdgesShared returns a copy that shares g's vertex and edge
+// storage but owns its removal flags: RemoveEdge/RestoreEdge on the
+// copy do not affect g, and all read operations work. The copy must
+// not have vertices or edges added to it. Use this instead of Clone
+// for transient what-if queries (e.g. reachability under failed links),
+// which only toggle removal flags.
+func (g *Digraph) CloneEdgesShared() *Digraph {
+	c := *g
+	c.removed = append([]bool(nil), g.removed...)
+	return &c
+}
+
 // AddVertex adds a vertex named name, or returns the existing vertex with
 // that name.
 func (g *Digraph) AddVertex(name string) V {

@@ -31,6 +31,7 @@ import (
 	cpr "repro"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/smt/sat"
 )
 
 // Config tunes the daemon; zero values select the documented defaults.
@@ -396,10 +397,12 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		out, rerr = sys.RepairCtx(ctx, policies, opts)
 		cancelled := rerr != nil && (errors.Is(rerr, context.DeadlineExceeded) || errors.Is(rerr, context.Canceled))
 		var conflicts int64
+		var solver sat.Stats
 		if rerr == nil {
 			conflicts = out.Result.Conflicts
+			solver = out.Result.Solver
 		}
-		s.stats.solveFinished(cancelled, conflicts)
+		s.stats.solveFinished(cancelled, conflicts, solver)
 	})
 	if perr != nil {
 		if errors.Is(perr, errSaturated) {

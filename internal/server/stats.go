@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/smt/sat"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
@@ -49,9 +51,10 @@ type stats struct {
 	// Solves (repair requests admitted to the worker pool).
 	solvesInFlight  int
 	solvesCompleted int64
-	solvesCancelled int64 // deadline exceeded or client gone
-	solvesRejected  int64 // shed with HTTP 429
-	conflicts       int64 // total SAT conflicts across completed solves
+	solvesCancelled int64     // deadline exceeded or client gone
+	solvesRejected  int64     // shed with HTTP 429
+	conflicts       int64     // total SAT conflicts across completed solves
+	solver          sat.Stats // aggregate solver counters across completed solves
 
 	// Per-destination sub-problem outcomes under fault isolation,
 	// summed across completed solves.
@@ -96,7 +99,7 @@ func (st *stats) solveStarted() {
 	st.mu.Unlock()
 }
 
-func (st *stats) solveFinished(cancelled bool, conflicts int64) {
+func (st *stats) solveFinished(cancelled bool, conflicts int64, solver sat.Stats) {
 	st.mu.Lock()
 	st.solvesInFlight--
 	if cancelled {
@@ -105,6 +108,7 @@ func (st *stats) solveFinished(cancelled bool, conflicts int64) {
 		st.solvesCompleted++
 	}
 	st.conflicts += conflicts
+	st.solver.Accumulate(solver)
 	st.mu.Unlock()
 }
 
@@ -194,6 +198,17 @@ type Statsz struct {
 		Rejected  int64 `json:"rejected"`
 		Conflicts int64 `json:"conflicts"`
 	} `json:"solves"`
+	// Solver aggregates the SAT solver's internal counters across
+	// completed solves.
+	Solver struct {
+		Decisions    int64 `json:"decisions"`
+		Propagations int64 `json:"propagations"`
+		BinaryProps  int64 `json:"binary_props"`
+		Restarts     int64 `json:"restarts"`
+		LearnedLits  int64 `json:"learned_lits"`
+		DBReductions int64 `json:"db_reductions"`
+		ArenaGCs     int64 `json:"arena_gcs"`
+	} `json:"solver"`
 	// Destinations counts per-destination sub-problem outcomes under
 	// fault isolation, summed across completed solves.
 	Destinations struct {
@@ -218,6 +233,13 @@ func (st *stats) snapshot(sessions int) Statsz {
 	out.Solves.Cancelled = st.solvesCancelled
 	out.Solves.Rejected = st.solvesRejected
 	out.Solves.Conflicts = st.conflicts
+	out.Solver.Decisions = st.solver.Decisions
+	out.Solver.Propagations = st.solver.Propagations
+	out.Solver.BinaryProps = st.solver.BinaryProps
+	out.Solver.Restarts = st.solver.Restarts
+	out.Solver.LearnedLits = st.solver.LearnedLits
+	out.Solver.DBReductions = st.solver.DBReductions
+	out.Solver.ArenaGCs = st.solver.ArenaGCs
 	out.Destinations.Solved = st.dstSolved
 	out.Destinations.Degraded = st.dstDegraded
 	out.Destinations.Failed = st.dstFailed

@@ -148,13 +148,20 @@ func linearDescent(s *sat.Solver, softs []sat.Lit) Result {
 		return Result{Status: sat.Unknown}
 	}
 	outs := buildTotalizer(s, inputs, ub+1)
+	// Warm start each bound-tightening iteration from the previous model:
+	// the next optimum usually differs in a handful of assignments, so
+	// seeding phases turns each re-solve into a short repair of the last
+	// model instead of a cold search.
+	s.SeedPhasesFromModel()
 	// outs[k] ("at least k+1 violations") false ⇒ at most k violations.
 	for ub > 0 {
 		target := ub - 1
 		st := s.Solve(outs[target].Not())
 		if st == sat.Unsat {
 			// Lock in the optimum bound for subsequent incremental use and
-			// restore the optimal model by re-solving at the optimum.
+			// restore the optimal model by re-solving at the optimum. The
+			// phases still hold the ub-violation model, steering the
+			// re-solve straight back to it.
 			if ub < len(outs) {
 				s.AddClause(outs[ub].Not())
 			}
@@ -168,6 +175,7 @@ func linearDescent(s *sat.Solver, softs []sat.Lit) Result {
 			return Result{Status: st}
 		}
 		ub = countViolated(s, softs)
+		s.SeedPhasesFromModel()
 	}
 	return Result{Status: sat.Sat, Cost: 0}
 }
@@ -286,6 +294,10 @@ func fuMalik(s *sat.Solver, softs []sat.Lit) Result {
 	addWork := func(i int) {
 		w := works[i]
 		w.sel = sat.MkLit(s.NewVar(), false)
+		// Phase hints: selectors are assumed true every round, and most
+		// relaxers stay off in the optimum — seed both so each round's
+		// search resumes near the previous one.
+		s.SetPhase(w.sel.Var(), true)
 		clause := append([]sat.Lit{w.soft}, w.relaxers...)
 		clause = append(clause, w.sel.Not())
 		s.AddClause(clause...)
@@ -326,6 +338,7 @@ func fuMalik(s *sat.Solver, softs []sat.Lit) Result {
 			delete(bySel, w.sel)
 			s.AddClause(w.sel.Not()) // retire old working clause
 			b := sat.MkLit(s.NewVar(), false)
+			s.SetPhase(b.Var(), false)
 			w.relaxers = append(w.relaxers, b)
 			blocks = append(blocks, b)
 			addWork(i)

@@ -1,0 +1,244 @@
+package sat
+
+import "math"
+
+// Clause storage: all non-binary clauses live in one contiguous []uint32
+// arena and are identified by the index of their header word (a "cref").
+// The layout per clause is
+//
+//	[header] [activity]? [lit0] [lit1] ... [litN-1]
+//
+// where the activity word (a float32 bit pattern) is present only for
+// learned clauses. The header packs the clause size, the learned and
+// deleted flags, and the LBD (literal block distance) quality score:
+//
+//	bits  0..17  size (number of literals, ≤ 262143)
+//	bit   18     learned
+//	bit   19     deleted (storage reclaimed by the next arena GC)
+//	bits 20..31  LBD, saturated at 4095 (0 for problem clauses)
+//
+// Binary clauses never enter the arena: they are specialized into the
+// per-literal implication lists (Solver.bins) and referenced through
+// tagged reasons, so neither storing nor propagating them touches the
+// arena. Unit clauses become level-0 trail entries.
+//
+// Reason/conflict references share the cref space via tagging:
+//
+//	refUndef            no reason (decision or level-0 fact)
+//	refBinConfl         conflict in a binary clause; lits in Solver.binConfl
+//	refBinFlag | lit    binary reason: the clause {implied, Lit(lit)}
+//	anything else       arena cref (< 2^31)
+const (
+	hdrSizeMask uint32 = 1<<18 - 1
+	hdrLearned  uint32 = 1 << 18
+	hdrDeleted  uint32 = 1 << 19
+	hdrLBDShift        = 20
+	hdrLBDMax   uint32 = 1<<12 - 1
+
+	refUndef    uint32 = math.MaxUint32
+	refBinConfl uint32 = math.MaxUint32 - 1
+	refBinFlag  uint32 = 1 << 31
+
+	// maxArenaWords bounds crefs below the refBinFlag tag space.
+	maxArenaWords = 1 << 31
+)
+
+// isBinRef reports whether a reason reference is a tagged binary reason.
+func isBinRef(ref uint32) bool { return ref&refBinFlag != 0 && ref != refUndef && ref != refBinConfl }
+
+// binRefOther extracts the other literal of a tagged binary reason.
+func binRefOther(ref uint32) Lit { return Lit(ref &^ refBinFlag) }
+
+// mkBinRef tags a binary reason: the reason clause of an implied literal
+// q is {q, other}.
+func mkBinRef(other Lit) uint32 { return refBinFlag | uint32(other) }
+
+// litBase returns the arena index of the clause's first literal.
+func litBase(ref uint32, hdr uint32) uint32 {
+	base := ref + 1
+	if hdr&hdrLearned != 0 {
+		base++
+	}
+	return base
+}
+
+// clauseWords returns the total arena footprint of the clause.
+func clauseWords(hdr uint32) uint32 {
+	n := 1 + hdr&hdrSizeMask
+	if hdr&hdrLearned != 0 {
+		n++
+	}
+	return n
+}
+
+// lits returns the clause's literal words (callers convert with Lit()).
+// The slice aliases the arena; it is invalidated by AddClause, clause
+// learning, and arena GC.
+func (s *Solver) lits(ref uint32) []uint32 {
+	hdr := s.arena[ref]
+	base := litBase(ref, hdr)
+	return s.arena[base : base+hdr&hdrSizeMask]
+}
+
+// clauseLBD reads the header LBD field.
+func (s *Solver) clauseLBD(ref uint32) uint32 { return s.arena[ref] >> hdrLBDShift }
+
+// setClauseLBD overwrites the header LBD field (saturating).
+func (s *Solver) setClauseLBD(ref uint32, lbd uint32) {
+	if lbd > hdrLBDMax {
+		lbd = hdrLBDMax
+	}
+	s.arena[ref] = s.arena[ref]&(hdrSizeMask|hdrLearned|hdrDeleted) | lbd<<hdrLBDShift
+}
+
+// clauseAct reads a learned clause's activity.
+func (s *Solver) clauseAct(ref uint32) float32 {
+	return math.Float32frombits(s.arena[ref+1])
+}
+
+// setClauseAct writes a learned clause's activity.
+func (s *Solver) setClauseAct(ref uint32, act float32) {
+	s.arena[ref+1] = math.Float32bits(act)
+}
+
+// deleted reports whether the clause's storage is awaiting GC.
+func (s *Solver) deleted(ref uint32) bool { return s.arena[ref]&hdrDeleted != 0 }
+
+// newClause appends a clause (≥ 3 literals) to the arena and registers
+// its watchers. Learned clauses carry an activity slot and LBD.
+func (s *Solver) newClause(lits []Lit, learned bool, lbd uint32) uint32 {
+	if len(lits) > int(hdrSizeMask) {
+		panic("sat: clause exceeds maximum width")
+	}
+	need := 1 + len(lits)
+	if learned {
+		need++
+	}
+	if len(s.arena)+need > maxArenaWords {
+		panic("sat: clause arena exhausted")
+	}
+	ref := uint32(len(s.arena))
+	hdr := uint32(len(lits))
+	if learned {
+		if lbd > hdrLBDMax {
+			lbd = hdrLBDMax
+		}
+		hdr |= hdrLearned | lbd<<hdrLBDShift
+	}
+	s.arena = append(s.arena, hdr)
+	if learned {
+		s.arena = append(s.arena, math.Float32bits(float32(s.clauseInc)))
+	}
+	for _, l := range lits {
+		s.arena = append(s.arena, uint32(l))
+	}
+	if learned {
+		s.learnts = append(s.learnts, ref)
+		s.numLearned++
+	} else {
+		s.clauses = append(s.clauses, ref)
+	}
+	s.watchClause(ref)
+	return ref
+}
+
+// watchClause registers the clause's first two literals in the watch
+// lists, each blocking on the other.
+func (s *Solver) watchClause(ref uint32) {
+	w := s.lits(ref)
+	l0, l1 := Lit(w[0]), Lit(w[1])
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{ref, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{ref, l0})
+}
+
+// markDeleted flags a learned clause for the next GC and accounts its
+// storage as wasted. Watchers are purged in batch by cleanWatches.
+func (s *Solver) markDeleted(ref uint32) {
+	hdr := s.arena[ref]
+	if hdr&hdrDeleted != 0 {
+		return
+	}
+	s.arena[ref] = hdr | hdrDeleted
+	s.wasted += int(clauseWords(hdr))
+	if hdr&hdrLearned != 0 {
+		s.numLearned--
+	}
+}
+
+// cleanWatches removes every watcher whose clause was deleted. Called
+// once per reduceDB batch so propagate never has to re-keep (or even
+// see) stale entries, and the watcher invariant — each live clause
+// watched exactly once under each watched literal, nothing else in any
+// list — holds between reductions.
+func (s *Solver) cleanWatches() {
+	for i, ws := range s.watches {
+		kept := ws[:0]
+		for _, w := range ws {
+			if !s.deleted(w.cref) {
+				kept = append(kept, w)
+			}
+		}
+		s.watches[i] = kept
+	}
+}
+
+// maybeGC compacts the arena when the deleted fraction crosses the
+// threshold.
+func (s *Solver) maybeGC() {
+	if s.wasted > 0 && float64(s.wasted) >= s.gcFrac*float64(len(s.arena)) {
+		s.gcArena()
+	}
+}
+
+// gcArena compacts live clauses into a fresh arena and remaps every
+// clause reference: the problem and learnt lists, the watch lists
+// (rebuilt from the compacted clauses, preserving the watched-literal
+// pairs), and the trail reasons. Tagged binary reasons are untouched —
+// binary clauses never lived in the arena. The protocol writes each
+// moved clause's new cref into its old header word, which is safe
+// because live references are only ever consulted after the owning
+// clause has been moved.
+func (s *Solver) gcArena() {
+	s.ArenaGCs++
+	old := s.arena
+	s.arena = make([]uint32, 0, len(old)-s.wasted)
+
+	move := func(ref uint32) uint32 {
+		hdr := old[ref]
+		n := clauseWords(hdr)
+		newRef := uint32(len(s.arena))
+		s.arena = append(s.arena, old[ref:ref+n]...)
+		old[ref] = newRef // forwarding pointer for reason remapping
+		return newRef
+	}
+	for i, ref := range s.clauses {
+		s.clauses[i] = move(ref)
+	}
+	kept := s.learnts[:0]
+	for _, ref := range s.learnts {
+		if old[ref]&hdrDeleted != 0 {
+			continue
+		}
+		kept = append(kept, move(ref))
+	}
+	s.learnts = kept
+	// Remap reasons through the forwarding pointers. Only assigned
+	// variables (the trail) can hold live reasons.
+	for _, l := range s.trail {
+		v := l.Var()
+		if r := s.reason[v]; r != refUndef && !isBinRef(r) {
+			s.reason[v] = old[r]
+		}
+	}
+	// Rebuild the watch lists in clause order, keeping their capacity.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, ref := range s.clauses {
+		s.watchClause(ref)
+	}
+	for _, ref := range s.learnts {
+		s.watchClause(ref)
+	}
+	s.wasted = 0
+}

@@ -1,0 +1,88 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the solver core, tracked by CI's bench-smoke job
+// alongside the end-to-end repair benchmarks. Each covers one hot path
+// of the arena redesign: conflict-heavy search (pigeonhole), incremental
+// assumption solving (the MaxSMT access pattern), and learned-clause
+// management with aggressive reduceDB/GC settings.
+
+// randomCNF adds a width-3 instance near the satisfiability threshold.
+func randomCNF(s *Solver, rng *rand.Rand, nVars, nClauses int) {
+	vars := make([]Var, nVars)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i < nClauses; i++ {
+		var c [3]Lit
+		for j := 0; j < 3; {
+			v := vars[rng.Intn(nVars)]
+			dup := false
+			for k := 0; k < j; k++ {
+				if c[k].Var() == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			c[j] = MkLit(v, rng.Intn(2) == 1)
+			j++
+		}
+		s.AddClause(c[0], c[1], c[2])
+	}
+}
+
+// BenchmarkSATPigeonhole is conflict-heavy UNSAT search: clause learning,
+// analysis, and watcher traversal dominate.
+func BenchmarkSATPigeonhole(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := pigeonhole(7)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(7) must be unsat")
+		}
+	}
+}
+
+// BenchmarkSATIncrementalAssumptions mirrors how maxsat drives the
+// solver: one clause database, many solves under shifting assumptions.
+func BenchmarkSATIncrementalAssumptions(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(42))
+		s := New()
+		randomCNF(s, rng, 120, 500)
+		for round := 0; round < 30; round++ {
+			asm := make([]Lit, 8)
+			for j := range asm {
+				asm[j] = MkLit(Var(rng.Intn(120)), rng.Intn(2) == 1)
+			}
+			if s.Solve(asm...) == Unknown {
+				b.Fatal("unexpected Unknown")
+			}
+		}
+	}
+}
+
+// BenchmarkSATReduceAndGC forces constant learned-clause deletion and
+// arena compaction, measuring reduceDB, watcher cleaning, and gcArena.
+func BenchmarkSATReduceAndGC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := pigeonhole(6)
+		s.SetMaxLearned(20)
+		s.SetGCWasteFraction(0.05)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(6) must be unsat")
+		}
+		if s.ArenaGCs == 0 {
+			b.Fatal("benchmark no longer exercises the GC path")
+		}
+	}
+}

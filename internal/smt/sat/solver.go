@@ -1,8 +1,10 @@
 // Package sat implements a CDCL (conflict-driven clause learning) SAT
-// solver: two-watched-literal propagation, 1UIP conflict analysis with
-// recursive clause minimization, VSIDS branching with phase saving, Luby
-// restarts, activity-based learned-clause deletion, incremental solving
-// under assumptions, and unsat-core extraction.
+// solver: arena-backed clause storage with specialized binary implication
+// lists, two-watched-literal propagation with blocking literals, 1UIP
+// conflict analysis with recursive clause minimization, VSIDS branching
+// with phase saving, Luby restarts, two-tier LBD-based learned-clause
+// management, incremental solving under assumptions, and unsat-core
+// extraction.
 //
 // It is the satisfiability substrate beneath CPR's MaxSMT formulation
 // (the paper uses Z3; see DESIGN.md for the substitution argument).
@@ -10,6 +12,7 @@ package sat
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/faultinject"
@@ -76,32 +79,46 @@ const (
 	lFalse
 )
 
-// clause is a disjunction of literals. Learned clauses carry an activity
-// for deletion heuristics.
-type clause struct {
-	lits     []Lit
-	learned  bool
-	activity float64
-}
+// coreLBD is the Glucose "core tier" threshold: learned clauses whose
+// LBD is at most this are kept forever, never offered to reduceDB.
+const coreLBD = 3
 
 // watcher pairs a clause reference with a blocker literal for fast
-// propagation.
+// propagation: if the blocker is already true the clause is satisfied
+// and the arena is never touched.
 type watcher struct {
-	cref    int
+	cref    uint32
 	blocker Lit
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
-	clauses  []*clause // nil entries are deleted clauses
-	watches  [][]watcher
+	Stats // cumulative search counters, promoted (s.Conflicts etc.)
+
+	// Clause storage (see arena.go for the layout).
+	arena   []uint32
+	clauses []uint32 // problem clause refs (≥3 literals)
+	learnts []uint32 // live learned clause refs (≥3 literals)
+	wasted  int      // arena words held by deleted clauses
+	gcFrac  float64  // wasted/len(arena) fraction that triggers gcArena
+
+	// bins[p] lists, for every binary clause {p.Not(), q}, the literal q
+	// that becomes forced when p is assigned true. Binary propagation
+	// walks these flat lists and never touches the arena.
+	bins    [][]Lit
+	watches [][]watcher
+
 	assigns  []lbool
 	phase    []bool // saved phases
 	level    []int32
-	reason   []int // clause ref or -1
+	reason   []uint32 // arena cref, tagged binary ref, or refUndef
 	trail    []Lit
 	trailLim []int32 // decision-level boundaries in trail
 	qhead    int
+
+	// binConfl holds the two (false) literals of a conflicting binary
+	// clause when propagate returns refBinConfl.
+	binConfl [2]Lit
 
 	activity []float64
 	varInc   float64
@@ -109,18 +126,29 @@ type Solver struct {
 
 	seen []bool
 
+	// lbdStamp[level] == lbdGen marks levels already counted by the
+	// current LBD computation (one array pass, no clearing).
+	lbdStamp []uint64
+	lbdGen   uint64
+
+	// litStamp[lit] == addGen marks literals already seen by the current
+	// AddClause call (replaces a per-call map).
+	litStamp []uint64
+	addGen   uint64
+
+	// Reused scratch buffers (valid only within one call).
+	addBuf     []Lit
+	learnedBuf []Lit
+	clearBuf   []Lit
+	reduceBuf  []uint32
+
 	ok          bool
 	model       []lbool // snapshot of the last satisfying assignment
-	numLearned  int
+	numLearned  int     // live arena learnts (binaries are permanent)
 	maxLearned  int
 	clauseInc   float64
 	assumptions []Lit
 	core        []Lit
-
-	// Stats
-	Conflicts    int64
-	Decisions    int64
-	Propagations int64
 
 	// Budget limits Solve to roughly this many conflicts (0 = unlimited);
 	// exceeded budgets return Unknown.
@@ -138,6 +166,8 @@ func New() *Solver {
 		varInc:     1.0,
 		clauseInc:  1.0,
 		maxLearned: 4000,
+		gcFrac:     0.25,
+		lbdStamp:   make([]uint64, 1), // level 0
 		order:      newVarHeap(),
 	}
 }
@@ -151,16 +181,65 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 // state so the initial MaxSAT upper bound is small.
 func (s *Solver) SetPhase(v Var, val bool) { s.phase[v] = val }
 
+// SeedPhasesFromModel copies the last satisfying assignment into the
+// saved phases, so the next Solve call starts its search from that
+// model. MaxSAT bound-tightening loops use this to warm-start each
+// iteration from the previous optimum instead of restarting cold.
+func (s *Solver) SeedPhasesFromModel() {
+	n := len(s.model)
+	if n > len(s.phase) {
+		n = len(s.phase)
+	}
+	for v := 0; v < n; v++ {
+		s.phase[v] = s.model[v] == lTrue
+	}
+}
+
+// SetMaxLearned overrides the live learned-clause count that triggers
+// the next reduceDB pass (default 4000). Exposed so stress tests can
+// force reductions and arena GCs on small instances.
+func (s *Solver) SetMaxLearned(n int) { s.maxLearned = n }
+
+// SetGCWasteFraction overrides the deleted-storage fraction of the
+// arena that triggers compaction (default 0.25).
+func (s *Solver) SetGCWasteFraction(f float64) { s.gcFrac = f }
+
+// grow reallocates xs with capacity c (used by NewVar to resize every
+// per-variable array in one step instead of letting each append grow
+// incrementally — encoders allocate tens of thousands of variables one
+// at a time).
+func grow[T any](xs []T, c int) []T {
+	out := make([]T, len(xs), c)
+	copy(out, xs)
+	return out
+}
+
 // NewVar allocates a fresh variable.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
+	if len(s.assigns) == cap(s.assigns) {
+		c := 2*len(s.assigns) + 64
+		s.assigns = grow(s.assigns, c)
+		s.phase = grow(s.phase, c)
+		s.level = grow(s.level, c)
+		s.reason = grow(s.reason, c)
+		s.activity = grow(s.activity, c)
+		s.seen = grow(s.seen, c)
+		s.watches = grow(s.watches, 2*c)
+		s.bins = grow(s.bins, 2*c)
+		s.litStamp = grow(s.litStamp, 2*c)
+		s.lbdStamp = grow(s.lbdStamp, c+1)
+	}
 	s.assigns = append(s.assigns, lUndef)
 	s.phase = append(s.phase, false)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, -1)
+	s.reason = append(s.reason, refUndef)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.bins = append(s.bins, nil, nil)
+	s.litStamp = append(s.litStamp, 0, 0)
+	s.lbdStamp = append(s.lbdStamp, 0) // one more possible decision level
 	s.order.insert(v, s.activity)
 	return v
 }
@@ -199,9 +278,10 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	// Normalize: drop duplicate and false literals; detect tautologies and
-	// satisfied clauses.
-	out := lits[:0:0]
-	seen := map[Lit]bool{}
+	// satisfied clauses. The literal stamp array replaces a per-call map.
+	s.addGen++
+	g := s.addGen
+	out := s.addBuf[:0]
 	for _, l := range lits {
 		if int(l.Var()) >= len(s.assigns) {
 			panic("sat: literal references unallocated variable")
@@ -212,48 +292,47 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		case lFalse:
 			continue
 		}
-		if seen[l] {
+		if s.litStamp[l] == g {
 			continue
 		}
-		if seen[l.Not()] {
+		if s.litStamp[l.Not()] == g {
 			return true // tautology
 		}
-		seen[l] = true
+		s.litStamp[l] = g
 		out = append(out, l)
 	}
+	s.addBuf = out[:0]
 	switch len(out) {
 	case 0:
 		s.ok = false
 		return false
 	case 1:
-		if !s.enqueue(out[0], -1) {
+		if !s.enqueue(out[0], refUndef) {
 			s.ok = false
 			return false
 		}
-		if s.propagate() != -1 {
+		if s.propagate() != refUndef {
 			s.ok = false
 			return false
 		}
 		return true
+	case 2:
+		s.addBinary(out[0], out[1])
+		return true
 	}
-	s.attach(&clause{lits: out})
+	s.newClause(out, false, 0)
 	return true
 }
 
-// attach registers the clause in the watch lists.
-func (s *Solver) attach(c *clause) int {
-	cref := len(s.clauses)
-	s.clauses = append(s.clauses, c)
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{cref, c.lits[1]})
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{cref, c.lits[0]})
-	if c.learned {
-		s.numLearned++
-	}
-	return cref
+// addBinary records the binary clause {a, b} in the implication lists:
+// when either literal's negation becomes true, the other is forced.
+func (s *Solver) addBinary(a, b Lit) {
+	s.bins[a.Not()] = append(s.bins[a.Not()], b)
+	s.bins[b.Not()] = append(s.bins[b.Not()], a)
 }
 
-// enqueue assigns literal l with the given reason clause ref.
-func (s *Solver) enqueue(l Lit, from int) bool {
+// enqueue assigns literal l with the given reason reference.
+func (s *Solver) enqueue(l Lit, from uint32) bool {
 	switch s.value(l) {
 	case lTrue:
 		return true
@@ -272,45 +351,62 @@ func (s *Solver) enqueue(l Lit, from int) bool {
 	return true
 }
 
-// propagate performs unit propagation; returns a conflicting clause ref or
-// -1.
-func (s *Solver) propagate() int {
+// propagate performs unit propagation; returns a conflicting clause
+// reference (refBinConfl for a binary conflict, with the literals in
+// binConfl) or refUndef.
+func (s *Solver) propagate() uint32 {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.Propagations++
+
+		// Binary implications first: each q in bins[p] is forced by the
+		// clause {p.Not(), q}. This is a flat list walk — no watcher
+		// bookkeeping and no arena access.
+		for _, q := range s.bins[p] {
+			switch s.value(q) {
+			case lFalse:
+				s.binConfl[0] = p.Not()
+				s.binConfl[1] = q
+				s.qhead = len(s.trail)
+				return refBinConfl
+			case lUndef:
+				s.BinaryProps++
+				s.enqueue(q, mkBinRef(p.Not()))
+			}
+		}
+
 		ws := s.watches[p]
 		kept := ws[:0]
-		conflict := -1
+		conflict := refUndef
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if conflict != -1 {
-				kept = append(kept, ws[i:]...)
-				break
-			}
 			if s.value(w.blocker) == lTrue {
 				kept = append(kept, w)
 				continue
 			}
-			c := s.clauses[w.cref]
-			if c == nil {
-				continue // deleted clause
+			hdr := s.arena[w.cref]
+			if hdr&hdrDeleted != 0 {
+				continue // drop watcher of a deleted clause
 			}
-			// Ensure c.lits[0] is the other watched literal.
-			if c.lits[0] == p.Not() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			base := litBase(w.cref, hdr)
+			// Ensure the clause's first literal is the other watched one.
+			if Lit(s.arena[base]) == p.Not() {
+				s.arena[base], s.arena[base+1] = s.arena[base+1], s.arena[base]
 			}
-			first := c.lits[0]
+			first := Lit(s.arena[base])
 			if first != w.blocker && s.value(first) == lTrue {
 				kept = append(kept, watcher{w.cref, first})
 				continue
 			}
 			// Look for a new literal to watch.
+			n := hdr & hdrSizeMask
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.cref, first})
+			for k := uint32(2); k < n; k++ {
+				if s.value(Lit(s.arena[base+k])) != lFalse {
+					s.arena[base+1], s.arena[base+k] = s.arena[base+k], s.arena[base+1]
+					nl := Lit(s.arena[base+1])
+					s.watches[nl.Not()] = append(s.watches[nl.Not()], watcher{w.cref, first})
 					found = true
 					break
 				}
@@ -318,21 +414,22 @@ func (s *Solver) propagate() int {
 			if found {
 				continue
 			}
-			// Clause is unit or conflicting.
+			// Clause is unit or conflicting: keep the watcher (once).
 			kept = append(kept, watcher{w.cref, first})
 			if s.value(first) == lFalse {
 				conflict = w.cref
 				s.qhead = len(s.trail)
-			} else {
-				s.enqueue(first, w.cref)
+				kept = append(kept, ws[i+1:]...)
+				break
 			}
+			s.enqueue(first, w.cref)
 		}
 		s.watches[p] = kept
-		if conflict != -1 {
+		if conflict != refUndef {
 			return conflict
 		}
 	}
-	return -1
+	return refUndef
 }
 
 // decisionLevel is the current number of decisions on the trail.
@@ -353,7 +450,7 @@ func (s *Solver) cancelUntil(lvl int) {
 		v := s.trail[i].Var()
 		s.phase[v] = s.assigns[v] == lTrue
 		s.assigns[v] = lUndef
-		s.reason[v] = -1
+		s.reason[v] = refUndef
 		s.order.insert(v, s.activity)
 	}
 	s.trail = s.trail[:bound]
@@ -373,34 +470,103 @@ func (s *Solver) bumpVar(v Var) {
 	s.order.update(v, s.activity)
 }
 
+// ensureLBDStamp grows the per-level stamp array to cover lvl. NewVar
+// reserves one slot per variable, but duplicate assumption literals each
+// open their own (empty) decision level, so the level count can exceed
+// the variable count.
+func (s *Solver) ensureLBDStamp(lvl int32) {
+	for int32(len(s.lbdStamp)) <= lvl {
+		s.lbdStamp = append(s.lbdStamp, 0)
+	}
+}
+
+// computeLBDLits returns the literals-block-distance of a clause given
+// as a literal slice: the number of distinct non-zero decision levels
+// among its (assigned) literals. Lower is better (Audemard & Simon).
+func (s *Solver) computeLBDLits(lits []Lit) uint32 {
+	s.lbdGen++
+	g := s.lbdGen
+	var lbd uint32
+	for _, l := range lits {
+		lvl := s.level[l.Var()]
+		if lvl == 0 {
+			continue
+		}
+		s.ensureLBDStamp(lvl)
+		if s.lbdStamp[lvl] != g {
+			s.lbdStamp[lvl] = g
+			lbd++
+		}
+	}
+	return lbd
+}
+
+// computeLBDRef is computeLBDLits over an arena clause.
+func (s *Solver) computeLBDRef(ref uint32) uint32 {
+	s.lbdGen++
+	g := s.lbdGen
+	var lbd uint32
+	for _, w := range s.lits(ref) {
+		lvl := s.level[Lit(w).Var()]
+		if lvl == 0 {
+			continue
+		}
+		s.ensureLBDStamp(lvl)
+		if s.lbdStamp[lvl] != g {
+			s.lbdStamp[lvl] = g
+			lbd++
+		}
+	}
+	return lbd
+}
+
 // analyze performs 1UIP conflict analysis, returning the learned clause
-// (first literal is the asserting one) and the backtrack level.
-func (s *Solver) analyze(conflictRef int) ([]Lit, int) {
-	learned := []Lit{0} // placeholder for asserting literal
+// (first literal is the asserting one) and the backtrack level. The
+// returned slice aliases an internal buffer valid until the next call.
+func (s *Solver) analyze(conflictRef uint32) ([]Lit, int) {
+	learned := append(s.learnedBuf[:0], 0) // placeholder for asserting literal
 	counter := 0
 	p := Lit(-1)
 	idx := len(s.trail) - 1
 	cref := conflictRef
+
+	visit := func(q Lit) {
+		v := q.Var()
+		if s.seen[v] || s.level[v] == 0 {
+			return
+		}
+		s.seen[v] = true
+		s.bumpVar(v)
+		if int(s.level[v]) >= s.decisionLevel() {
+			counter++
+		} else {
+			learned = append(learned, q)
+		}
+	}
 	for {
-		c := s.clauses[cref]
-		if c.learned {
-			s.bumpClause(c)
-		}
-		start := 0
-		if p != Lit(-1) {
-			start = 1
-		}
-		for _, q := range c.lits[start:] {
-			v := q.Var()
-			if s.seen[v] || s.level[v] == 0 {
-				continue
+		switch {
+		case cref == refBinConfl:
+			visit(s.binConfl[0])
+			visit(s.binConfl[1])
+		case isBinRef(cref):
+			// Binary reason of p: the clause {p, other}.
+			visit(binRefOther(cref))
+		default:
+			hdr := s.arena[cref]
+			if hdr&hdrLearned != 0 {
+				s.bumpClause(cref)
+				// Glucose: refresh the LBD of reused learned clauses.
+				if lbd := s.computeLBDRef(cref); lbd < s.clauseLBD(cref) {
+					s.setClauseLBD(cref, lbd)
+				}
 			}
-			s.seen[v] = true
-			s.bumpVar(v)
-			if int(s.level[v]) >= s.decisionLevel() {
-				counter++
-			} else {
-				learned = append(learned, q)
+			base := litBase(cref, hdr)
+			start := uint32(0)
+			if p != Lit(-1) {
+				start = 1 // lits[0] is the implied literal p
+			}
+			for k := start; k < hdr&hdrSizeMask; k++ {
+				visit(Lit(s.arena[base+k]))
 			}
 		}
 		// Find next literal to expand.
@@ -415,14 +581,16 @@ func (s *Solver) analyze(conflictRef int) ([]Lit, int) {
 		if counter <= 0 {
 			break
 		}
-		// Re-orient: when expanding a reason clause, its first literal is
-		// the implied one (equal to p); skip it via start=1 above.
-		c2 := s.clauses[cref]
-		if c2.lits[0] != p {
-			for k := 1; k < len(c2.lits); k++ {
-				if c2.lits[k] == p {
-					c2.lits[0], c2.lits[k] = c2.lits[k], c2.lits[0]
-					break
+		// Re-orient: when expanding an arena reason clause, move the
+		// implied literal (equal to p) first so start=1 skips it.
+		if !isBinRef(cref) {
+			w := s.lits(cref)
+			if Lit(w[0]) != p {
+				for k := 1; k < len(w); k++ {
+					if Lit(w[k]) == p {
+						w[0], w[k] = w[k], w[0]
+						break
+					}
 				}
 			}
 		}
@@ -432,7 +600,8 @@ func (s *Solver) analyze(conflictRef int) ([]Lit, int) {
 	// Clause minimization: drop literals implied by the rest. Keep the
 	// pre-minimization set for seen-flag cleanup: literals removed here
 	// must not leave stale marks for future analyses.
-	toClear := append([]Lit(nil), learned...)
+	toClear := append(s.clearBuf[:0], learned...)
+	s.clearBuf = toClear
 	for _, l := range learned {
 		s.seen[l.Var()] = true
 	}
@@ -459,6 +628,7 @@ func (s *Solver) analyze(conflictRef int) ([]Lit, int) {
 	for _, l := range toClear {
 		s.seen[l.Var()] = false
 	}
+	s.learnedBuf = learned
 	return learned, btLevel
 }
 
@@ -468,10 +638,15 @@ func (s *Solver) analyze(conflictRef int) ([]Lit, int) {
 // level 0).
 func (s *Solver) redundant(l Lit) bool {
 	ref := s.reason[l.Var()]
-	if ref == -1 {
+	if ref == refUndef {
 		return false
 	}
-	for _, q := range s.clauses[ref].lits {
+	if isBinRef(ref) {
+		q := binRefOther(ref)
+		return s.seen[q.Var()] || s.level[q.Var()] == 0
+	}
+	for _, w := range s.lits(ref) {
+		q := Lit(w)
 		if q.Var() == l.Var() {
 			continue
 		}
@@ -483,91 +658,70 @@ func (s *Solver) redundant(l Lit) bool {
 }
 
 // bumpClause increases a learned clause's activity.
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.clauseInc
-	if c.activity > 1e20 {
-		for _, cl := range s.clauses {
-			if cl != nil && cl.learned {
-				cl.activity *= 1e-20
-			}
+func (s *Solver) bumpClause(ref uint32) {
+	act := s.clauseAct(ref) + float32(s.clauseInc)
+	s.setClauseAct(ref, act)
+	if act > 1e20 {
+		for _, r := range s.learnts {
+			s.setClauseAct(r, s.clauseAct(r)*1e-20)
 		}
 		s.clauseInc *= 1e-20
 	}
 }
 
-// reduceDB deletes roughly half of the learned clauses, preferring
-// low-activity ones. Reason clauses and binary clauses are kept.
+// reduceDB deletes roughly half of the local learned tier. The core
+// tier (LBD ≤ coreLBD) and reason clauses are kept forever; the rest
+// are ranked worst-first by LBD (descending), then activity
+// (ascending), with the clause ref as a final deterministic tiebreak.
+// Deleted clauses are purged from the watch lists in one batch and
+// their storage reclaimed by the next arena GC.
 func (s *Solver) reduceDB() {
-	var learned []int
-	for i, c := range s.clauses {
-		if c != nil && c.learned && len(c.lits) > 2 && !s.isReason(i) {
-			learned = append(learned, i)
+	s.DBReductions++
+	cand := s.reduceBuf[:0]
+	for _, ref := range s.learnts {
+		if s.clauseLBD(ref) > coreLBD && !s.isReason(ref) {
+			cand = append(cand, ref)
 		}
 	}
-	// Partial sort: simple threshold on median activity.
-	if len(learned) == 0 {
+	s.reduceBuf = cand[:0]
+	if len(cand) == 0 {
+		s.maybeGC()
 		return
 	}
-	acts := make([]float64, len(learned))
-	for i, ref := range learned {
-		acts[i] = s.clauses[ref].activity
+	sort.Slice(cand, func(i, j int) bool {
+		a, b := cand[i], cand[j]
+		la, lb := s.clauseLBD(a), s.clauseLBD(b)
+		if la != lb {
+			return la > lb
+		}
+		aa, ab := s.clauseAct(a), s.clauseAct(b)
+		if aa != ab {
+			return aa < ab
+		}
+		return a < b
+	})
+	for _, ref := range cand[:len(cand)/2] {
+		s.markDeleted(ref)
 	}
-	med := quickSelect(acts, len(acts)/2)
-	removed := 0
-	for _, ref := range learned {
-		if s.clauses[ref].activity <= med && removed < len(learned)/2 {
-			s.detach(ref)
-			removed++
+	kept := s.learnts[:0]
+	for _, ref := range s.learnts {
+		if !s.deleted(ref) {
+			kept = append(kept, ref)
 		}
 	}
+	s.learnts = kept
+	s.cleanWatches()
+	s.maybeGC()
 }
 
-// isReason reports whether clause ref is the reason of a trail literal.
-func (s *Solver) isReason(ref int) bool {
-	c := s.clauses[ref]
-	if len(c.lits) == 0 {
+// isReason reports whether the clause is the reason of a trail literal.
+func (s *Solver) isReason(ref uint32) bool {
+	w := s.lits(ref)
+	if len(w) == 0 {
 		return false
 	}
-	v := c.lits[0].Var()
+	v := Lit(w[0]).Var()
 	return s.assigns[v] != lUndef && s.reason[v] == ref
-}
-
-// detach deletes a clause lazily (watch lists skip nil clauses).
-func (s *Solver) detach(ref int) {
-	if s.clauses[ref].learned {
-		s.numLearned--
-	}
-	s.clauses[ref] = nil
-}
-
-// quickSelect returns the k-th smallest element of a (a is scrambled).
-func quickSelect(a []float64, k int) float64 {
-	lo, hi := 0, len(a)-1
-	for lo < hi {
-		pivot := a[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for a[i] < pivot {
-				i++
-			}
-			for a[j] > pivot {
-				j--
-			}
-			if i <= j {
-				a[i], a[j] = a[j], a[i]
-				i++
-				j--
-			}
-		}
-		if k <= j {
-			hi = j
-		} else if k >= i {
-			lo = i
-		} else {
-			break
-		}
-	}
-	return a[k]
 }
 
 // luby computes the Luby restart sequence value for index i (1-based).
@@ -619,7 +773,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Unknown
 		}
 		conflictRef := s.propagate()
-		if conflictRef != -1 {
+		if conflictRef != refUndef {
 			s.Conflicts++
 			conflictsHere++
 			if s.decisionLevel() == 0 {
@@ -638,15 +792,20 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				return Unsat
 			}
 			learned, btLevel := s.analyze(conflictRef)
+			lbd := s.computeLBDLits(learned)
 			s.cancelUntil(btLevel)
-			if len(learned) == 1 {
-				if !s.enqueue(learned[0], -1) {
+			s.LearnedLits += int64(len(learned))
+			switch len(learned) {
+			case 1:
+				if !s.enqueue(learned[0], refUndef) {
 					s.ok = false
 					return Unsat
 				}
-			} else {
-				c := &clause{lits: learned, learned: true, activity: s.clauseInc}
-				ref := s.attach(c)
+			case 2:
+				s.addBinary(learned[0], learned[1])
+				s.enqueue(learned[0], mkBinRef(learned[1]))
+			default:
+				ref := s.newClause(learned, true, lbd)
 				s.enqueue(learned[0], ref)
 			}
 			s.varInc /= 0.95
@@ -660,6 +819,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if conflictsHere >= conflictBudget {
 			// Restart.
 			restarts++
+			s.Restarts++
 			conflictBudget = luby(restarts+1) * 100
 			conflictsHere = 0
 			s.cancelUntil(0)
@@ -681,7 +841,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				return Unsat
 			}
 			s.newDecisionLevel()
-			s.enqueue(a, -1)
+			s.enqueue(a, refUndef)
 			continue
 		}
 		v := s.pickBranchVar()
@@ -694,7 +854,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		s.Decisions++
 		s.newDecisionLevel()
-		s.enqueue(MkLit(v, !s.phase[v]), -1)
+		s.enqueue(MkLit(v, !s.phase[v]), refUndef)
 	}
 }
 
@@ -724,18 +884,22 @@ func (s *Solver) pickBranchVar() Var {
 // analyzeFinal computes the unsat core from a conflict that depends only
 // on assumptions: all assumption literals reachable backward from the
 // conflict.
-func (s *Solver) analyzeFinal(conflictRef int) {
-	isAssumption := make(map[Lit]bool, len(s.assumptions))
-	for _, a := range s.assumptions {
-		isAssumption[a] = true
-	}
+func (s *Solver) analyzeFinal(conflictRef uint32) {
 	var core []Lit
 	seen := make(map[Var]bool)
 	var queue []Var
-	for _, l := range s.clauses[conflictRef].lits {
+	push := func(l Lit) {
 		if !seen[l.Var()] {
 			seen[l.Var()] = true
 			queue = append(queue, l.Var())
+		}
+	}
+	if conflictRef == refBinConfl {
+		push(s.binConfl[0])
+		push(s.binConfl[1])
+	} else {
+		for _, w := range s.lits(conflictRef) {
+			push(Lit(w))
 		}
 	}
 	for len(queue) > 0 {
@@ -745,7 +909,8 @@ func (s *Solver) analyzeFinal(conflictRef int) {
 			continue
 		}
 		ref := s.reason[v]
-		if ref == -1 {
+		switch {
+		case ref == refUndef:
 			// Decision: must be an assumption (conflict is at assumption
 			// levels).
 			for _, a := range s.assumptions {
@@ -754,12 +919,11 @@ func (s *Solver) analyzeFinal(conflictRef int) {
 					break
 				}
 			}
-			continue
-		}
-		for _, l := range s.clauses[ref].lits {
-			if !seen[l.Var()] {
-				seen[l.Var()] = true
-				queue = append(queue, l.Var())
+		case isBinRef(ref):
+			push(binRefOther(ref))
+		default:
+			for _, w := range s.lits(ref) {
+				push(Lit(w))
 			}
 		}
 	}
@@ -772,6 +936,12 @@ func (s *Solver) coreFromFailedAssumption(a Lit) {
 	core := []Lit{a}
 	seen := map[Var]bool{a.Var(): true}
 	queue := []Var{a.Var()}
+	push := func(l Lit) {
+		if !seen[l.Var()] {
+			seen[l.Var()] = true
+			queue = append(queue, l.Var())
+		}
+	}
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -779,19 +949,19 @@ func (s *Solver) coreFromFailedAssumption(a Lit) {
 			continue
 		}
 		ref := s.reason[v]
-		if ref == -1 {
+		switch {
+		case ref == refUndef:
 			for _, asm := range s.assumptions {
 				if asm.Var() == v && asm != a {
 					core = append(core, asm)
 					break
 				}
 			}
-			continue
-		}
-		for _, l := range s.clauses[ref].lits {
-			if !seen[l.Var()] {
-				seen[l.Var()] = true
-				queue = append(queue, l.Var())
+		case isBinRef(ref):
+			push(binRefOther(ref))
+		default:
+			for _, w := range s.lits(ref) {
+				push(Lit(w))
 			}
 		}
 	}

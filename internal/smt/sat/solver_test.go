@@ -499,16 +499,94 @@ func TestLuby(t *testing.T) {
 	}
 }
 
-func TestQuickSelect(t *testing.T) {
-	a := []float64{5, 1, 4, 2, 3}
-	if got := quickSelect(append([]float64(nil), a...), 2); got != 3 {
-		t.Errorf("median = %v, want 3", got)
+func TestBinaryClausesBypassArena(t *testing.T) {
+	s := newSolverWithVars(4)
+	s.AddClause(lits(1, 2)...)
+	s.AddClause(lits(-2, 3)...)
+	s.AddClause(lits(-3, 4)...)
+	if len(s.arena) != 0 || len(s.clauses) != 0 {
+		t.Fatalf("binary clauses must not enter the arena (arena=%d words, %d clauses)",
+			len(s.arena), len(s.clauses))
 	}
-	if got := quickSelect(append([]float64(nil), a...), 0); got != 1 {
-		t.Errorf("min = %v, want 1", got)
+	if s.Solve(lits(-1)...) != Sat {
+		t.Fatal("want sat")
 	}
-	if got := quickSelect(append([]float64(nil), a...), 4); got != 5 {
-		t.Errorf("max = %v, want 5", got)
+	if s.BinaryProps == 0 {
+		t.Error("binary propagation counter should advance")
+	}
+	for _, l := range lits(2, 3, 4) {
+		if !s.ValueLit(l) {
+			t.Errorf("%v should be forced by the binary chain", l)
+		}
+	}
+}
+
+func TestClauseHeaderRoundTrip(t *testing.T) {
+	s := newSolverWithVars(6)
+	ref := s.newClause(lits(1, 2, 3, 4), true, 7)
+	if got := len(s.lits(ref)); got != 4 {
+		t.Errorf("size = %d, want 4", got)
+	}
+	if got := s.clauseLBD(ref); got != 7 {
+		t.Errorf("lbd = %d, want 7", got)
+	}
+	s.setClauseLBD(ref, hdrLBDMax+100)
+	if got := s.clauseLBD(ref); got != hdrLBDMax {
+		t.Errorf("lbd should saturate at %d, got %d", hdrLBDMax, got)
+	}
+	if got := len(s.lits(ref)); got != 4 {
+		t.Errorf("size clobbered by setClauseLBD: %d", got)
+	}
+	s.setClauseAct(ref, 3.5)
+	if got := s.clauseAct(ref); got != 3.5 {
+		t.Errorf("activity = %v, want 3.5", got)
+	}
+	s.markDeleted(ref)
+	if !s.deleted(ref) {
+		t.Error("clause should be flagged deleted")
+	}
+	if s.wasted != 6 { // header + activity + 4 literals
+		t.Errorf("wasted = %d words, want 6", s.wasted)
+	}
+}
+
+func TestArenaGCCompactsAndPreservesAnswers(t *testing.T) {
+	s := pigeonhole(6)
+	s.SetMaxLearned(10)
+	s.SetGCWasteFraction(0.05)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(6) = %v, want unsat", got)
+	}
+	if s.DBReductions == 0 {
+		t.Error("tiny maxLearned should force reductions")
+	}
+	if s.ArenaGCs == 0 {
+		t.Error("aggressive waste fraction should force arena GCs")
+	}
+	if s.wasted != 0 {
+		// GC may legitimately leave waste below threshold, but the final
+		// reduceDB triggers maybeGC at 5%; anything left must be small.
+		if float64(s.wasted) >= 0.05*float64(len(s.arena)) {
+			t.Errorf("wasted %d of %d words after GC", s.wasted, len(s.arena))
+		}
+	}
+}
+
+func TestSeedPhasesFromModel(t *testing.T) {
+	s := newSolverWithVars(6)
+	s.AddClause(lits(1, 2, 3)...)
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	want := make([]bool, 6)
+	for v := Var(0); v < 6; v++ {
+		want[v] = s.Value(v)
+	}
+	s.SeedPhasesFromModel()
+	for v := Var(0); v < 6; v++ {
+		if s.phase[v] != want[v] {
+			t.Errorf("phase[%d] = %v, want model value %v", v, s.phase[v], want[v])
+		}
 	}
 }
 
@@ -561,6 +639,25 @@ func TestLevelZeroConflictPoisonsPermanently(t *testing.T) {
 		if s.Solve() != Unsat {
 			t.Fatal("unsat formula must stay unsat")
 		}
+	}
+}
+
+func TestDuplicateAssumptionsExceedVarCount(t *testing.T) {
+	// Regression: every assumption opens a decision level — even a
+	// duplicate of one already on the trail (an empty level, kept for the
+	// level↔assumption correspondence) — so the level count can exceed
+	// the variable count. The per-level LBD stamp array is sized per
+	// variable and used to index by level directly, which panicked here.
+	// Weighted MaxSAT hits this for real: SolveWeighted expands weights
+	// by duplicating soft literals, and warmStart assumes them all.
+	s := pigeonhole(3)
+	free := s.NewVar()
+	asm := make([]Lit, 0, 40)
+	for i := 0; i < 40; i++ {
+		asm = append(asm, MkLit(free, false))
+	}
+	if got := s.Solve(asm...); got != Unsat {
+		t.Fatalf("PHP(3) under duplicated free assumptions = %v, want unsat", got)
 	}
 }
 

@@ -1,0 +1,43 @@
+package sat
+
+// Stats are the solver's cumulative search counters. They are embedded
+// in Solver (so s.Conflicts etc. read directly) and exported as a value
+// through Snapshot for plumbing into ProblemStat, `cpr -stats`, and
+// cprd's /statsz without holding a reference to the solver.
+type Stats struct {
+	// Conflicts, Decisions, and Propagations count the classic CDCL
+	// search events.
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	// BinaryProps counts propagations served from the specialized binary
+	// implication lists (a subset of Propagations' enqueue work that
+	// never touches the clause arena).
+	BinaryProps int64
+	// Restarts counts Luby restarts.
+	Restarts int64
+	// LearnedLits is the total number of literals across all learned
+	// clauses (a proxy for learned-clause volume before deletion).
+	LearnedLits int64
+	// DBReductions counts reduceDB passes over the local learned tier.
+	DBReductions int64
+	// ArenaGCs counts arena compactions (garbage collections of deleted
+	// clause storage with watcher/reason remapping).
+	ArenaGCs int64
+}
+
+// Snapshot returns the current counters by value.
+func (s *Solver) Snapshot() Stats { return s.Stats }
+
+// Accumulate adds b's counters into a (used when one sub-problem makes
+// several solver attempts).
+func (a *Stats) Accumulate(b Stats) {
+	a.Conflicts += b.Conflicts
+	a.Decisions += b.Decisions
+	a.Propagations += b.Propagations
+	a.BinaryProps += b.BinaryProps
+	a.Restarts += b.Restarts
+	a.LearnedLits += b.LearnedLits
+	a.DBReductions += b.DBReductions
+	a.ArenaGCs += b.ArenaGCs
+}

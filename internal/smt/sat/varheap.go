@@ -11,6 +11,14 @@ type varHeap struct {
 func newVarHeap() *varHeap { return &varHeap{} }
 
 func (h *varHeap) ensure(v Var) {
+	if int(v) < len(h.pos) {
+		return
+	}
+	if int(v) >= cap(h.pos) {
+		c := 2*int(v) + 64
+		h.pos = grow(h.pos, c)
+		h.heap = grow(h.heap, c)
+	}
 	for int(v) >= len(h.pos) {
 		h.pos = append(h.pos, -1)
 	}

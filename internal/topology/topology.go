@@ -225,6 +225,7 @@ func (d *Device) Interfaces() []*Interface {
 // AddProcess creates a routing process of the given protocol and id on d.
 func (d *Device) AddProcess(proto Protocol, id int) *Process {
 	p := &Process{Device: d, Proto: proto, ID: id}
+	p.name = p.Name()
 	d.Processes = append(d.Processes, p)
 	return p
 }
@@ -338,10 +339,19 @@ type Process struct {
 	// RedistributeConnected makes the process originate routes for the
 	// device's directly connected subnets.
 	RedistributeConnected bool
+
+	name string // cached Name(), filled by AddProcess
 }
 
-// Name returns "device:proto id".
-func (p *Process) Name() string { return fmt.Sprintf("%s:%s%d", p.Device.Name, p.Proto, p.ID) }
+// Name returns "device:proto id". The value is cached: processes are
+// identified by (Device, Proto, ID), all fixed at AddProcess time, and
+// Name is called on hot verification paths.
+func (p *Process) Name() string {
+	if p.name == "" {
+		p.name = fmt.Sprintf("%s:%s%d", p.Device.Name, p.Proto, p.ID)
+	}
+	return p.name
+}
 
 // UsesInterface reports whether the process runs over intf.
 func (p *Process) UsesInterface(intf *Interface) bool {
