@@ -224,6 +224,78 @@ func BenchmarkAblationGreedyBaseline(b *testing.B) {
 	}
 }
 
+// --- Symmetry compression (Bonsai-style quotient repair, DESIGN.md) ---
+
+// benchCompressRepair times an end-to-end repair with compression forced
+// on or off; the On/Off pairs below are the compression speedup evidence
+// tracked in BENCH_baseline.json.
+func benchCompressRepair(b *testing.B, h *harc.HARC, ps []policy.Policy, mode core.CompressMode) {
+	opts := core.DefaultOptions()
+	opts.Compress = mode
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Repair(h, ps, opts)
+		if err != nil || !res.Solved {
+			b.Fatalf("repair failed: %v", err)
+		}
+		if mode == core.CompressOn && res.Compressed == 0 {
+			b.Fatalf("compression never engaged (fallbacks=%d)", res.CompressFallbacks)
+		}
+	}
+}
+
+// compressFatTreeInstance is the acceptance scenario: the fattree-k8
+// preset (80 routers) with 12 violated policies across 8 destinations.
+func compressFatTreeInstance(b *testing.B) (*harc.HARC, []policy.Policy) {
+	b.Helper()
+	inst, err := generate.Preset("fattree-k8", 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := generate.BreakFatTree(inst, 13, 12); err != nil {
+		b.Fatal(err)
+	}
+	return inst.Harc(), inst.Policies
+}
+
+// compressDCInstance is a mid-size leaf-spine network (64 routers, the
+// dc-256 preset's shape at benchmarkable scale): symmetric enough to
+// compress well, but with repair time dominated by the concrete-side
+// HARC work, so the On/Off gap shows the compression floor rather than
+// the fat-tree's best case.
+func compressDCInstance(b *testing.B) (*harc.HARC, []policy.Policy) {
+	b.Helper()
+	inst, err := generate.DataCenter(generate.DCOptions{
+		Name: "dc64", Routers: 64, Subnets: 24,
+		BlockedFrac: 0.3, FullyBlockedDsts: 2, Violations: 6, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst.Harc(), inst.Policies
+}
+
+func BenchmarkCompressRepairFatTreeOn(b *testing.B) {
+	h, ps := compressFatTreeInstance(b)
+	benchCompressRepair(b, h, ps, core.CompressOn)
+}
+
+func BenchmarkCompressRepairFatTreeOff(b *testing.B) {
+	h, ps := compressFatTreeInstance(b)
+	benchCompressRepair(b, h, ps, core.CompressOff)
+}
+
+func BenchmarkCompressRepairDCOn(b *testing.B) {
+	h, ps := compressDCInstance(b)
+	benchCompressRepair(b, h, ps, core.CompressOn)
+}
+
+func BenchmarkCompressRepairDCOff(b *testing.B) {
+	h, ps := compressDCInstance(b)
+	benchCompressRepair(b, h, ps, core.CompressOff)
+}
+
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkSubstrateSATRandom3SAT(b *testing.B) {

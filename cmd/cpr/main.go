@@ -44,6 +44,7 @@ func main() {
 		retries    = flag.Int("retries", 0, "solve attempts per destination under isolation (0 = default 3)")
 		dstTimeout = flag.Duration("dst-timeout", 0, "per-destination watchdog deadline (0 = derive from -timeout)")
 		noFallback = flag.Bool("no-fallback", false, "disable greedy degradation of exhausted destinations")
+		compress   = flag.String("compress", "auto", "symmetry compression: auto, on, or off")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -69,6 +70,7 @@ func main() {
 		RetryAttempts:  *retries,
 		DstTimeoutMS:   dstTimeout.Milliseconds(),
 		NoFallback:     *noFallback,
+		Compress:       *compress,
 	}
 	runErr := run(*configDir, *policyFile, *outDir, *verifyOnly, *showStats, optFlags, *timeout)
 	if perr := stopProf(); perr != nil && runErr == nil {
@@ -162,6 +164,10 @@ func run(configDir, policyFile, outDir string, verifyOnly, showStats bool, optFl
 func printStats(res *core.Result) {
 	fmt.Printf("solved %d MaxSMT problem(s) in %v (sequential %v)\n",
 		len(res.Stats), res.Duration.Round(1e6), res.Sequential.Round(1e6))
+	if res.Compressed > 0 || res.CompressFallbacks > 0 {
+		fmt.Printf("compression: %d problem(s) solved on quotients, %d fell back uncompressed\n",
+			res.Compressed, res.CompressFallbacks)
+	}
 	for _, st := range res.Stats {
 		extra := ""
 		if st.Outcome != core.OutcomeSolved {
@@ -175,6 +181,12 @@ func printStats(res *core.Result) {
 		}
 		if st.Attempts > 1 {
 			extra += fmt.Sprintf(" attempts=%d", st.Attempts)
+		}
+		if st.Compressed {
+			extra += fmt.Sprintf(" compressed=%d/%d(%.1fx)",
+				st.QuotientDevices, st.DeviceClasses, st.CompressRatio)
+		} else if st.CompressFallback != "" {
+			extra += " compress-fallback=" + st.CompressFallback
 		}
 		fmt.Printf("  %-12s tcs=%-4d policies=%-4d vars=%-7d softs=%-5d violated=%-3d %v %s%s\n",
 			st.Label, st.TCs, st.Policies, st.Vars, st.Softs, st.Violations,

@@ -34,6 +34,7 @@ var oracles = []oracle{
 	{"maxsat", crosscheck.CheckMaxSAT},
 	{"arenagc", crosscheck.CheckArenaGC},
 	{"repair", crosscheck.CheckRepair},
+	{"compress", crosscheck.CheckCompress},
 }
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed; iteration i uses seed+i")
 		n        = flag.Int("n", 100, "iterations per oracle")
 		duration = flag.Duration("duration", 0, "time budget (overrides -n when set)")
-		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, arenagc, or repair")
+		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, arenagc, repair, or compress")
 		outDir   = flag.String("out", "", "directory for reproducer artifacts (default: a fresh temp dir)")
 	)
 	flag.Parse()
@@ -53,7 +54,7 @@ func main() {
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, arenagc, or repair)\n", *which)
+		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, arenagc, repair, or compress)\n", *which)
 		os.Exit(2)
 	}
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/generate"
 	"repro/internal/policy"
@@ -23,6 +24,7 @@ import (
 func main() {
 	var (
 		kind       = flag.String("type", "fattree", "workload type: fattree or dc")
+		preset     = flag.String("preset", "", "named symmetric workload (overrides -type): "+strings.Join(generate.PresetNames(), ", "))
 		outDir     = flag.String("out", "", "output directory (required)")
 		seed       = flag.Int64("seed", 1, "generation seed")
 		k          = flag.Int("k", 4, "fattree: port count (even)")
@@ -46,15 +48,22 @@ func main() {
 		inst *generate.Instance
 		err  error
 	)
-	switch *kind {
-	case "fattree":
+	switch {
+	case *preset != "":
+		inst, err = generate.Preset(*preset, *seed)
+		// Fat-tree presets are generated intact; -break violates policies
+		// the same way it does for -type fattree.
+		if err == nil && *breakN > 0 && strings.HasPrefix(*preset, "fattree") {
+			err = generate.BreakFatTree(inst, *seed+1, *breakN)
+		}
+	case *kind == "fattree":
 		inst, err = generate.FatTree(generate.FatTreeOptions{
 			K: *k, SubnetsPerEdge: *spe, PC1: *pc1, PC2: *pc2, PC3: *pc3, PC4: *pc4, Seed: *seed,
 		})
 		if err == nil && *breakN > 0 {
 			err = generate.BreakFatTree(inst, *seed+1, *breakN)
 		}
-	case "dc":
+	case *kind == "dc":
 		inst, err = generate.DataCenter(generate.DCOptions{
 			Name: "dc", Routers: *routers, Subnets: *subnets,
 			BlockedFrac: *blocked, FullyBlockedDsts: 1, Violations: *violations, Seed: *seed,

@@ -194,7 +194,92 @@ func (s *System) RepairCtx(ctx context.Context, policies []Policy, opts Options)
 	for host, c := range cfgs {
 		out.PatchedConfigs[host] = c.Print()
 	}
+	// Symmetry-compressed repairs already re-verified per sub-problem on
+	// the uncompressed HARC; the belt-and-braces final check replays the
+	// patched configuration text through the parser and verifies the
+	// repaired policies on the network it actually describes. If that
+	// ever disagrees, the whole repair is redone uncompressed.
+	if res.Compressed > 0 && !verifyPatchedConfigs(ctx, out.PatchedConfigs, res.Repaired) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		o := opts
+		o.Compress = core.CompressOff
+		return s.RepairCtx(ctx, policies, o)
+	}
 	return out, nil
+}
+
+// verifyPatchedConfigs re-parses patched configuration text and checks
+// the given policies against the HARC of the network it describes,
+// restricted to the policies' traffic classes (building the full
+// all-pairs HARC would dwarf the repair itself on large networks).
+// Policies are rebound to the re-parsed network's subnets by name.
+func verifyPatchedConfigs(ctx context.Context, patched map[string]string, policies []Policy) bool {
+	keys := make([]string, 0, len(patched))
+	for k := range patched {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parsed []*config.Config
+	for _, k := range keys {
+		c, err := config.Parse(k, patched[k])
+		if err != nil {
+			return false
+		}
+		parsed = append(parsed, c)
+	}
+	n, err := config.Extract(parsed)
+	if err != nil {
+		return false
+	}
+	remap := func(tc TrafficClass) (TrafficClass, bool) {
+		if tc.Src == nil || tc.Dst == nil {
+			return tc, false
+		}
+		src, dst := n.Subnet(tc.Src.Name), n.Subnet(tc.Dst.Name)
+		if src == nil || dst == nil {
+			return tc, false
+		}
+		return TrafficClass{Src: src, Dst: dst}, true
+	}
+	var rebound []Policy
+	seen := map[string]bool{}
+	var tcs []TrafficClass
+	addTC := func(tc TrafficClass) {
+		if !seen[tc.Key()] {
+			seen[tc.Key()] = true
+			tcs = append(tcs, tc)
+		}
+	}
+	for _, p := range policies {
+		rp := p
+		tc, ok := remap(p.TC)
+		if !ok {
+			return false
+		}
+		rp.TC = tc
+		addTC(tc)
+		if p.Kind == policy.Isolated {
+			tc2, ok := remap(p.TC2)
+			if !ok {
+				return false
+			}
+			rp.TC2 = tc2
+			addTC(tc2)
+		}
+		rebound = append(rebound, rp)
+	}
+	h := harc.BuildForTCs(n, tcs)
+	for _, p := range rebound {
+		if ctx.Err() != nil {
+			return false
+		}
+		if !policy.Check(h, p) {
+			return false
+		}
+	}
+	return true
 }
 
 // RepairOutput bundles a repair's solver result, its configuration

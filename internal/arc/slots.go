@@ -67,10 +67,21 @@ type Slot struct {
 	// Subnet and its attachment interface for SlotSource / SlotDest.
 	Subnet *topology.Subnet
 	Intf   *topology.Interface
+
+	key string // cached Key(), filled by Slots
 }
 
-// Key returns a stable identifier unique within a network.
+// Key returns a stable identifier unique within a network. Slots are
+// immutable once enumerated, so Slots precomputes the key; the
+// formatting path below only runs for hand-built slots.
 func (s *Slot) Key() string {
+	if s.key != "" {
+		return s.key
+	}
+	return s.keyUncached()
+}
+
+func (s *Slot) keyUncached() string {
 	switch s.Kind {
 	case SlotInterDevice:
 		return fmt.Sprintf("inter:%s>%s@%s/%s", s.FromProc.Name(), s.ToProc.Name(), s.FromIntf.Name, s.ToIntf.Name)
@@ -176,6 +187,9 @@ func Slots(n *topology.Network) []*Slot {
 		}
 	}
 
+	for _, s := range slots {
+		s.key = s.keyUncached()
+	}
 	sort.Slice(slots, func(i, j int) bool { return slots[i].Key() < slots[j].Key() })
 	return slots
 }

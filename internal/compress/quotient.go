@@ -1,0 +1,212 @@
+package compress
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/topology"
+)
+
+// synthesize builds the quotient network for a refined partition: each
+// class keeps min(r, size) representative members, cloned verbatim;
+// links between two kept devices are cloned; links from a kept device
+// to a dropped one are rewired onto a kept member of the dropped
+// device's class (cloning the dropped end's interface, address
+// included, so static-route next hops keep resolving); links between
+// two dropped devices vanish. Interfaces attached to irrelevant
+// subnets are omitted — they contribute no slots to the problem.
+func synthesize(n *topology.Network, part *partition, r int, relevant map[*topology.Subnet]bool) (*Quotient, error) {
+	q := &Quotient{
+		ClassOf: part.classOf,
+		Rep:     make(map[string]string, len(part.classOf)),
+		Devices: n.NumDevices(),
+	}
+	kept := make(map[string]bool)
+	for _, members := range part.classes {
+		k := r
+		if k > len(members) {
+			k = len(members)
+		}
+		c := Class{Members: members, Kept: members[:k]}
+		q.Classes = append(q.Classes, c)
+		for i, m := range members {
+			q.Rep[m] = c.Kept[i%k]
+		}
+		for _, m := range c.Kept {
+			kept[m] = true
+		}
+	}
+
+	qn := topology.NewNetwork()
+	subnets := make(map[string]*topology.Subnet)
+	for _, s := range n.Subnets {
+		if relevant[s] {
+			subnets[s.Name] = qn.AddSubnet(s.Name, s.Prefix)
+		}
+	}
+	for _, d := range n.Devices() {
+		if kept[d.Name] {
+			cloneDevice(qn, d, subnets, relevant)
+		}
+	}
+
+	// Pass 1: clone links whose both endpoints survive.
+	type pair struct{ a, b string }
+	linked := make(map[pair]bool)
+	for _, l := range n.Links {
+		da, db := l.A.Device.Name, l.B.Device.Name
+		if !kept[da] || !kept[db] {
+			continue
+		}
+		qa := cloneLinkIntf(qn.Device(da), l.A, l.A.Name, l.A.Device)
+		qb := cloneLinkIntf(qn.Device(db), l.B, l.B.Name, l.B.Device)
+		qn.AddLink(qa, qb).Waypoint = l.Waypoint
+		linked[pair{da, db}] = true
+		linked[pair{db, da}] = true
+	}
+	// Pass 2: rewire links with exactly one surviving endpoint onto a
+	// kept member of the dropped class not already adjacent.
+	for _, l := range n.Links {
+		ku, iv := l.A, l.B
+		if kept[iv.Device.Name] {
+			ku, iv = iv, ku
+		}
+		if !kept[ku.Device.Name] || kept[iv.Device.Name] {
+			if !kept[ku.Device.Name] {
+				q.DroppedLinks++ // both ends dropped
+			}
+			continue
+		}
+		u, v := ku.Device.Name, iv.Device.Name
+		target := ""
+		for _, t := range q.Classes[part.classOf[v]].Kept {
+			if t != u && !linked[pair{u, t}] {
+				target = t
+				break
+			}
+		}
+		if target == "" {
+			q.DroppedLinks++
+			continue
+		}
+		qu := cloneLinkIntf(qn.Device(u), ku, ku.Name, ku.Device)
+		// The foreign interface keeps its concrete address (static-route
+		// next hops match on it) under a collision-free name.
+		qt := cloneLinkIntf(qn.Device(target), iv, iv.Name+"~"+v, iv.Device)
+		qn.AddLink(qu, qt).Waypoint = l.Waypoint
+		linked[pair{u, target}] = true
+		linked[pair{target, u}] = true
+	}
+
+	if err := qn.Validate(); err != nil {
+		return nil, fmt.Errorf("compress: quotient invalid: %w", err)
+	}
+	q.Net = qn
+	return q, nil
+}
+
+// cloneDevice copies a device's waypoint role, ACLs, processes
+// (redistribution wired up within the device), static routes, and its
+// host-facing interfaces on relevant subnets. Link interfaces are added
+// later, per surviving link.
+func cloneDevice(qn *topology.Network, d *topology.Device, subnets map[string]*topology.Subnet, relevant map[*topology.Subnet]bool) {
+	qd := qn.AddDevice(d.Name)
+	qd.Waypoint = d.Waypoint
+	for _, name := range d.ACLNames() {
+		a := d.ACLs[name]
+		qa := qd.AddACL(name)
+		qa.Entries = append([]topology.ACLEntry(nil), a.Entries...)
+	}
+	for _, p := range d.Processes {
+		qp := qd.AddProcess(p.Proto, p.ID)
+		qp.RedistributeConnected = p.RedistributeConnected
+		qp.RouteFilters = append([]netip.Prefix(nil), p.RouteFilters...)
+	}
+	for _, p := range d.Processes {
+		qp := qd.Process(p.Proto, p.ID)
+		for _, rp := range p.RedistributesFrom {
+			qp.RedistributesFrom = append(qp.RedistributesFrom, qd.Process(rp.Proto, rp.ID))
+		}
+	}
+	for _, sr := range d.Statics {
+		qd.AddStatic(sr.Prefix, sr.NextHop, sr.Distance)
+	}
+	for _, intf := range d.Interfaces() {
+		if intf.Subnet == nil || !relevant[intf.Subnet] {
+			continue
+		}
+		qi := qd.AddInterface(intf.Name)
+		qi.Prefix = intf.Prefix
+		qi.Cost = intf.Cost
+		qi.InACL = intf.InACL
+		qi.OutACL = intf.OutACL
+		qi.Subnet = subnets[intf.Subnet.Name]
+		enrollIntf(qd, qi, intf)
+	}
+}
+
+// cloneLinkIntf clones one link endpoint interface onto quotient device
+// qd under the given name, importing any ACLs it references from the
+// (possibly different) source device, and enrolls it in the matching
+// processes.
+func cloneLinkIntf(qd *topology.Device, src *topology.Interface, name string, srcDev *topology.Device) *topology.Interface {
+	qi := qd.AddInterface(name)
+	qi.Prefix = src.Prefix
+	qi.Cost = src.Cost
+	qi.InACL = importACL(qd, srcDev, src.InACL)
+	qi.OutACL = importACL(qd, srcDev, src.OutACL)
+	enrollIntf(qd, qi, src)
+	return qi
+}
+
+// enrollIntf registers the cloned interface qi with every quotient
+// process matching a source-device process that ran over the source
+// interface, preserving passivity.
+func enrollIntf(qd *topology.Device, qi *topology.Interface, src *topology.Interface) {
+	for _, p := range src.Device.Processes {
+		if !p.UsesInterface(src) {
+			continue
+		}
+		qp := qd.Process(p.Proto, p.ID)
+		if qp == nil {
+			continue // class mismatch; re-verification will catch any fallout
+		}
+		qp.Interfaces = append(qp.Interfaces, qi)
+		if p.IsPassive(src) {
+			if qp.Passive == nil {
+				qp.Passive = make(map[string]bool)
+			}
+			qp.Passive[qi.Name] = true
+		}
+	}
+}
+
+// importACL ensures the ACL referenced by a foreign interface exists on
+// the target device, reusing an existing ACL when the content matches
+// and cloning under a suffixed name otherwise.
+func importACL(qd *topology.Device, srcDev *topology.Device, name string) string {
+	if name == "" {
+		return ""
+	}
+	src := srcDev.ACLs[name]
+	if src == nil {
+		return ""
+	}
+	if qd == nil {
+		return name
+	}
+	if existing := qd.ACLs[name]; existing != nil {
+		if aclSig(qd, name) == aclSig(srcDev, name) {
+			return name
+		}
+		alias := name + "~" + srcDev.Name
+		if qd.ACLs[alias] == nil {
+			qa := qd.AddACL(alias)
+			qa.Entries = append([]topology.ACLEntry(nil), src.Entries...)
+		}
+		return alias
+	}
+	qa := qd.AddACL(name)
+	qa.Entries = append([]topology.ACLEntry(nil), src.Entries...)
+	return name
+}

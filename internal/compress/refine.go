@@ -1,0 +1,231 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// partition is an equivalence partition of a network's devices.
+type partition struct {
+	classOf map[string]int // device name → class index
+	classes [][]string     // class index → sorted member names
+}
+
+// refine computes the coarsest role-equivalence partition that the seed
+// signatures and neighborhood structure support. The seed splits on
+// everything locally observable in a device's configuration; each
+// refinement round re-splits on the multiset of incident edge
+// signatures (peer class plus both endpoints' edge attributes) until
+// the partition reaches a fixed point. Classes only ever split, so the
+// loop terminates in at most |devices| rounds.
+func refine(n *topology.Network, relevant map[*topology.Subnet]bool, concrete map[string]bool) *partition {
+	devs := n.Devices()
+	sigs := make(map[string]string, len(devs))
+	for _, d := range devs {
+		sigs[d.Name] = seedSig(d, relevant, concrete)
+	}
+	part := groupBySig(devs, sigs)
+	for {
+		for _, d := range devs {
+			sigs[d.Name] = roundSig(d, part.classOf)
+		}
+		next := groupBySig(devs, sigs)
+		if len(next.classes) == len(part.classes) {
+			return next
+		}
+		part = next
+	}
+}
+
+// groupBySig partitions devices by signature, assigning class indices
+// in sorted-signature order so the numbering is deterministic.
+func groupBySig(devs []*topology.Device, sigs map[string]string) *partition {
+	members := make(map[string][]string)
+	for _, d := range devs {
+		s := sigs[d.Name]
+		members[s] = append(members[s], d.Name)
+	}
+	order := make([]string, 0, len(members))
+	for s := range members {
+		order = append(order, s)
+	}
+	sort.Strings(order)
+	p := &partition{classOf: make(map[string]int, len(devs))}
+	for _, s := range order {
+		ms := members[s]
+		sort.Strings(ms)
+		for _, name := range ms {
+			p.classOf[name] = len(p.classes)
+		}
+		p.classes = append(p.classes, ms)
+	}
+	return p
+}
+
+// seedSig renders everything locally observable about a device: policy
+// endpoints stay singletons, and the protocol mix, redistribution
+// graph, route filters, static routes, host attachments, ACL contents,
+// link costs and waypoint role all split the partition. Differing in a
+// single ACL entry, link weight or static route therefore lands two
+// otherwise identical devices in distinct classes.
+func seedSig(d *topology.Device, relevant map[*topology.Subnet]bool, concrete map[string]bool) string {
+	var b strings.Builder
+	if concrete[d.Name] {
+		// Policy endpoints are pinned concrete by name.
+		b.WriteString("!" + d.Name + "\n")
+	}
+	if d.Waypoint {
+		b.WriteString("wp\n")
+	}
+	for _, p := range sortedProcs(d) {
+		fmt.Fprintf(&b, "proc %s%d rc=%t", p.Proto, p.ID, p.RedistributeConnected)
+		var redist []string
+		for _, rp := range p.RedistributesFrom {
+			redist = append(redist, fmt.Sprintf("%s%d", rp.Proto, rp.ID))
+		}
+		sort.Strings(redist)
+		b.WriteString(" redist=" + strings.Join(redist, ","))
+		var filters []string
+		for _, f := range p.RouteFilters {
+			filters = append(filters, f.String())
+		}
+		sort.Strings(filters)
+		b.WriteString(" filter=" + strings.Join(filters, ",") + "\n")
+	}
+	var statics []string
+	for _, sr := range d.Statics {
+		// Next-hop addresses are link-local and differ across otherwise
+		// symmetric members; where the route points is captured by the
+		// neighborhood rounds (roundSig resolves the next hop's device).
+		statics = append(statics, fmt.Sprintf("st %s d%d", sr.Prefix, sr.Distance))
+	}
+	sort.Strings(statics)
+	for _, s := range statics {
+		b.WriteString(s + "\n")
+	}
+	var intfs []string
+	for _, intf := range d.Interfaces() {
+		switch {
+		case intf.Subnet != nil:
+			if !relevant[intf.Subnet] {
+				// Irrelevant subnets contribute no slots to the problem
+				// and are dropped from the quotient entirely.
+				continue
+			}
+			intfs = append(intfs, "sub "+intf.Subnet.Name+" "+intfAttrSig(d, intf))
+		case intf.Link != nil:
+			intfs = append(intfs, "lnk "+intfAttrSig(d, intf))
+		}
+	}
+	sort.Strings(intfs)
+	for _, s := range intfs {
+		b.WriteString(s + "\n")
+	}
+	return b.String()
+}
+
+// intfAttrSig renders one interface's slot-relevant attributes: cost,
+// ACL contents, link waypoint, and which processes run over it (and
+// whether passively).
+func intfAttrSig(d *topology.Device, intf *topology.Interface) string {
+	var procs []string
+	for _, p := range d.Processes {
+		if p.UsesInterface(intf) {
+			tag := fmt.Sprintf("%s%d", p.Proto, p.ID)
+			if p.IsPassive(intf) {
+				tag += "~"
+			}
+			procs = append(procs, tag)
+		}
+	}
+	sort.Strings(procs)
+	wp := intf.Link != nil && intf.Link.Waypoint
+	return fmt.Sprintf("c%d wp=%t in=%s out=%s use=%s",
+		intf.Cost, wp, aclSig(d, intf.InACL), aclSig(d, intf.OutACL), strings.Join(procs, ","))
+}
+
+// aclSig renders an ACL reference by name and full entry list, so a
+// one-entry difference splits the class.
+func aclSig(d *topology.Device, name string) string {
+	if name == "" {
+		return "-"
+	}
+	a := d.ACLs[name]
+	if a == nil {
+		return "!" + name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, e := range a.Entries {
+		b.WriteByte(';')
+		if e.Permit {
+			b.WriteByte('p')
+		} else {
+			b.WriteByte('d')
+		}
+		b.WriteString(e.Src.String())
+		b.WriteByte('>')
+		b.WriteString(e.Dst.String())
+	}
+	return b.String()
+}
+
+// roundSig renders one refinement round's view of a device: its current
+// class plus the sorted multiset of incident edge signatures, each
+// naming the peer's class and both endpoints' edge attributes, plus the
+// class each static route's next hop resolves to.
+func roundSig(d *topology.Device, classOf map[string]int) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(classOf[d.Name]))
+	b.WriteByte('\n')
+	var edges []string
+	for _, intf := range d.Interfaces() {
+		peer := intf.Peer()
+		if peer == nil {
+			continue
+		}
+		edges = append(edges, fmt.Sprintf("e c%d %s | %s | %s",
+			classOf[peer.Device.Name], intfAttrSig(d, intf), intfAttrSig(peer.Device, peer), ""))
+	}
+	for _, sr := range d.Statics {
+		pc := -1
+		if peer := staticPeer(d, sr); peer != nil {
+			pc = classOf[peer.Name]
+		}
+		edges = append(edges, fmt.Sprintf("s %s c%d", sr.Prefix, pc))
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e + "\n")
+	}
+	return b.String()
+}
+
+// staticPeer resolves the device a static route's next hop points at:
+// the peer device of the link interface whose far-end address equals
+// the next hop (mirroring arc.Slot.StaticBacked's matching rule).
+func staticPeer(d *topology.Device, sr *topology.StaticRoute) *topology.Device {
+	for _, intf := range d.Interfaces() {
+		peer := intf.Peer()
+		if peer != nil && peer.Prefix.IsValid() && peer.Prefix.Addr() == sr.NextHop {
+			return peer.Device
+		}
+	}
+	return nil
+}
+
+// sortedProcs returns the device's processes ordered by (proto, id).
+func sortedProcs(d *topology.Device) []*topology.Process {
+	out := append([]*topology.Process(nil), d.Processes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proto != out[j].Proto {
+			return out[i].Proto < out[j].Proto
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -64,41 +64,47 @@ func project(res *Result) comparableResult {
 func TestRepairDeterministicAcrossParallelism(t *testing.T) {
 	h, ps := determinismFixture(t)
 	for _, iso := range []IsolationMode{IsolationOn, IsolationOff} {
-		t.Run(fmt.Sprintf("isolation=%v", iso), func(t *testing.T) {
-			var ref comparableResult
-			for i, par := range []int{1, 4, 0} {
-				opts := DefaultOptions()
-				opts.Isolation = iso
-				opts.Parallelism = par
-				res, err := Repair(h, ps, opts)
-				if err != nil {
-					t.Fatalf("Repair(parallelism=%d): %v", par, err)
+		// Compression is forced on (the 8-router fixture sits below the
+		// auto threshold) so the quotient build, solve, and patch
+		// concretization are all under the same byte-identical contract.
+		for _, cmp := range []CompressMode{CompressOff, CompressOn} {
+			t.Run(fmt.Sprintf("isolation=%v/compress=%v", iso, cmp), func(t *testing.T) {
+				var ref comparableResult
+				for i, par := range []int{1, 4, 0} {
+					opts := DefaultOptions()
+					opts.Isolation = iso
+					opts.Compress = cmp
+					opts.Parallelism = par
+					res, err := Repair(h, ps, opts)
+					if err != nil {
+						t.Fatalf("Repair(parallelism=%d): %v", par, err)
+					}
+					if !res.Solved {
+						t.Fatalf("Repair(parallelism=%d) unsolved: %+v", par, res.Stats)
+					}
+					got := project(res)
+					if i == 0 {
+						ref = got
+						continue
+					}
+					if !reflect.DeepEqual(got.State, ref.State) {
+						t.Errorf("parallelism=%d: repaired state differs from parallelism=1", par)
+					}
+					if got.Changes != ref.Changes {
+						t.Errorf("parallelism=%d: changes %d != %d", par, got.Changes, ref.Changes)
+					}
+					if !reflect.DeepEqual(got.Repaired, ref.Repaired) {
+						t.Errorf("parallelism=%d: repaired policy set differs", par)
+					}
+					if !reflect.DeepEqual(got.Stats, ref.Stats) {
+						t.Errorf("parallelism=%d: stats differ\n got %+v\nwant %+v", par, got.Stats, ref.Stats)
+					}
+					if got.Solved != ref.Solved || got.Degraded != ref.Degraded || got.Failed != ref.Failed {
+						t.Errorf("parallelism=%d: outcome counts differ", par)
+					}
 				}
-				if !res.Solved {
-					t.Fatalf("Repair(parallelism=%d) unsolved: %+v", par, res.Stats)
-				}
-				got := project(res)
-				if i == 0 {
-					ref = got
-					continue
-				}
-				if !reflect.DeepEqual(got.State, ref.State) {
-					t.Errorf("parallelism=%d: repaired state differs from parallelism=1", par)
-				}
-				if got.Changes != ref.Changes {
-					t.Errorf("parallelism=%d: changes %d != %d", par, got.Changes, ref.Changes)
-				}
-				if !reflect.DeepEqual(got.Repaired, ref.Repaired) {
-					t.Errorf("parallelism=%d: repaired policy set differs", par)
-				}
-				if !reflect.DeepEqual(got.Stats, ref.Stats) {
-					t.Errorf("parallelism=%d: stats differ\n got %+v\nwant %+v", par, got.Stats, ref.Stats)
-				}
-				if got.Solved != ref.Solved || got.Degraded != ref.Degraded || got.Failed != ref.Failed {
-					t.Errorf("parallelism=%d: outcome counts differ", par)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -173,6 +173,17 @@ type Options struct {
 	// DisableFallback turns off greedy degradation under isolation:
 	// exhausted sub-problems are marked failed instead.
 	DisableFallback bool
+	// Compress selects Bonsai-style symmetry compression for eligible
+	// per-destination sub-problems: repair a quotient of role-equivalent
+	// routers, concretize the patch onto every class member, and accept
+	// it only after it re-verifies on the uncompressed state (falling
+	// back to the uncompressed solve otherwise).
+	Compress CompressMode
+	// CompressRedundancy overrides the representative members kept per
+	// equivalence class (0 = derive from the problem: max(2, largest
+	// PC3 K)). Values at or above the largest class size make the
+	// quotient lossless.
+	CompressRedundancy int
 }
 
 // defaultRetryAttempts is the per-sub-problem attempt bound under
@@ -241,6 +252,23 @@ type ProblemStat struct {
 	// (summed across isolated attempts); Solver.Conflicts == Conflicts.
 	Solver   sat.Stats
 	Duration time.Duration
+	// Compressed marks a sub-problem solved on a symmetry-compressed
+	// quotient network whose concretized patch re-verified on the
+	// uncompressed state. Vars/Softs then describe the quotient problem.
+	Compressed bool
+	// DeviceClasses and QuotientDevices describe the quotient when
+	// compression was attempted: role-equivalence class count and
+	// quotient device count; CompressRatio is concrete devices per
+	// quotient device.
+	DeviceClasses   int
+	QuotientDevices int
+	CompressRatio   float64
+	// CompressFallback names the stage at which an attempted compression
+	// was abandoned for the uncompressed path ("quotient", "remap",
+	// "incompressible", "encode", "solve", "trivial", "concretize",
+	// "verify", or "panic"; empty when compression succeeded or was not
+	// attempted).
+	CompressFallback string
 }
 
 // Result is the outcome of a Repair call.
@@ -269,6 +297,11 @@ type Result struct {
 	// sub-problems.
 	Solver sat.Stats
 	Stats  []ProblemStat
+	// Compressed counts sub-problems solved via symmetry compression;
+	// CompressFallbacks counts attempted compressions that fell back to
+	// the uncompressed path.
+	Compressed        int
+	CompressFallbacks int
 	// Duration is the wall-clock time of the Repair call; Sequential sums
 	// the individual sub-problem durations (the paper's serial baseline).
 	Duration   time.Duration
@@ -286,11 +319,13 @@ type problem struct {
 	policies []policy.Policy
 	freeze   bool
 	enc      *encoder
-	// greedyState is the realized fallback state for degraded problems
-	// (constructed by realizeGreedy, merged serially after the fan-out).
-	greedyState   *harc.State
-	greedyChanges int
-	stat          ProblemStat
+	// realized is a construct-realized repair state staged for the serial
+	// merge instead of a model extraction: the greedy fallback for
+	// degraded problems (realizeGreedy) or the concretized quotient
+	// repair for compressed ones (concretizePatch).
+	realized        *harc.State
+	realizedChanges int
+	stat            ProblemStat
 }
 
 // dsts returns the problem's unique destination subnets.
@@ -368,7 +403,7 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 	if isolated {
 		runIsolated(ctx, h, tb, orig, problems, opts)
 	} else {
-		if err := runFailFast(ctx, tb, orig, problems, opts); err != nil {
+		if err := runFailFast(ctx, h, tb, orig, problems, opts); err != nil {
 			return nil, err
 		}
 		if err := ctx.Err(); err != nil {
@@ -384,12 +419,20 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 		res.Sequential += pr.stat.Duration
 		res.Conflicts += pr.stat.Conflicts
 		res.Solver.Accumulate(pr.stat.Solver)
+		if pr.stat.CompressFallback != "" {
+			res.CompressFallbacks++
+		}
 		switch pr.stat.Outcome {
 		case OutcomeSolved:
 			res.Changes += pr.stat.Violations
-			pr.enc.extract(out)
+			if pr.stat.Compressed {
+				res.Compressed++
+				mergeRealized(h, orig, out, pr)
+			} else {
+				pr.enc.extract(out)
+			}
 		case OutcomeDegraded:
-			res.Changes += pr.greedyChanges
+			res.Changes += pr.realizedChanges
 			res.Degraded++
 			res.Solved = false
 			mergeRealized(h, orig, out, pr)
@@ -524,7 +567,7 @@ func (pr *problem) sizeHint() int { return len(pr.tcs)*16 + len(pr.policies) }
 
 // runFailFast is the legacy fan-out: build and solve each problem (in
 // parallel for per-dst); the first error aborts the batch.
-func runFailFast(ctx context.Context, tb *tables, orig *harc.State, problems []*problem, opts Options) error {
+func runFailFast(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.State, problems []*problem, opts Options) error {
 	workers := opts.workerCount()
 	var (
 		wg       sync.WaitGroup
@@ -542,6 +585,10 @@ func runFailFast(ctx context.Context, tb *tables, orig *harc.State, problems []*
 				return // cancelled while queued; RepairCtx reports ctx.Err()
 			}
 			t0 := time.Now()
+			if tryCompressed(ctx, h, orig, pr, opts) {
+				pr.stat.Duration = time.Since(t0)
+				return
+			}
 			enc := newEncoder(tb, orig, pr.tcs, pr.policies, pr.freeze, opts)
 			if err := enc.encode(ctx); err != nil {
 				mu.Lock()
@@ -607,6 +654,9 @@ func solveIsolated(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.Sta
 	t0 := time.Now()
 	defer func() { pr.stat.Duration = time.Since(t0) }()
 
+	if tryCompressed(ctx, h, orig, pr, opts) {
+		return
+	}
 	budget := opts.ConflictBudget
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
@@ -726,8 +776,8 @@ func degrade(h *harc.HARC, orig *harc.State, pr *problem, opts Options, lastErr 
 	if !ok {
 		return
 	}
-	pr.greedyState = realized
-	pr.greedyChanges = changes
+	pr.realized = realized
+	pr.realizedChanges = changes
 	pr.stat.Outcome = OutcomeDegraded
 	pr.stat.Fallback = "greedy"
 }
@@ -887,12 +937,13 @@ func realizeTCPresence(h *harc.HARC, orig, trial, gst *harc.State, tc topology.T
 	}
 }
 
-// mergeRealized copies a degraded problem's realized state into the
+// mergeRealized copies a degraded or compressed problem's realized
+// state into the
 // shared repaired state: its destinations' dETG maps, its traffic
 // classes' maps, the per-destination construct entries (all keyed by
 // destination name), and any added waypoints.
 func mergeRealized(h *harc.HARC, orig, out *harc.State, pr *problem) {
-	trial := pr.greedyState
+	trial := pr.realized
 	for _, dst := range pr.dsts() {
 		dm, tdm := out.Dst[dst.Name], trial.Dst[dst.Name]
 		for key, v := range tdm {
@@ -930,8 +981,18 @@ func mergeRealized(h *harc.HARC, orig, out *harc.State, pr *problem) {
 // observation that destination-based routing makes parent changes apply
 // to all children by default.
 func applyFollowRules(h *harc.HARC, orig, out *harc.State, solvedDsts, solvedTCs map[string]bool) {
+	// Per-destination repairs freeze the aETG, so the parent level is
+	// usually untouched; skipping the propagation scans then keeps this
+	// pass O(solved destinations) instead of O(all traffic classes).
+	allChanged := false
+	for k, v := range out.All {
+		if orig.All[k] != v {
+			allChanged = true
+			break
+		}
+	}
 	for _, dst := range h.Dsts {
-		if solvedDsts[dst.Name] {
+		if solvedDsts[dst.Name] || !allChanged {
 			continue
 		}
 		dm := out.Dst[dst.Name]
@@ -949,6 +1010,9 @@ func applyFollowRules(h *harc.HARC, orig, out *harc.State, solvedDsts, solvedTCs
 	for _, tc := range h.TCs {
 		if solvedTCs[tc.Key()] {
 			continue
+		}
+		if !allChanged && !solvedDsts[tc.Dst.Name] {
+			continue // parent levels untouched; the child is already aligned
 		}
 		m := out.TC[tc.Key()]
 		origM := orig.TC[tc.Key()]

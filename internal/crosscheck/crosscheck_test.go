@@ -52,6 +52,17 @@ func TestRepairOracleSeeds(t *testing.T) {
 	}
 }
 
+func TestCompressOracleSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compression oracle is slow in -short mode")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		if err := CheckCompress(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestBruteSATAgainstRandomModels sanity-checks the oracle's own brute
 // force: for satisfiable instances found by enumeration, a concrete
 // witness model must exist and satisfy every clause.
@@ -139,6 +150,17 @@ func FuzzRepair(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := CheckRepair(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzCompress(f *testing.F) {
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckCompress(seed); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,52 @@
+package generate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// presets are named large symmetric benchmark workloads, sized so that
+// symmetry compression has real structure to exploit: fat-trees carry
+// whole pods of role-equivalent aggregation and edge switches, and the
+// big leaf-spine data center carries hundreds of interchangeable leaves.
+// Policy counts follow the paper's evaluation mix (§8): mostly PC1/PC3
+// with a sprinkle of waypointing.
+var presets = map[string]func(seed int64) (*Instance, error){
+	"fattree-k8": func(seed int64) (*Instance, error) {
+		return FatTree(FatTreeOptions{
+			K: 8, SubnetsPerEdge: 1, PC1: 10, PC2: 4, PC3: 10, Seed: seed,
+		})
+	},
+	"fattree-k16": func(seed int64) (*Instance, error) {
+		return FatTree(FatTreeOptions{
+			K: 16, SubnetsPerEdge: 1, PC1: 16, PC2: 6, PC3: 16, Seed: seed,
+		})
+	},
+	"dc-256": func(seed int64) (*Instance, error) {
+		return DataCenter(DCOptions{
+			Name: "dc256", Routers: 256, Subnets: 48,
+			BlockedFrac: 0.3, FullyBlockedDsts: 2, Violations: 8, Seed: seed,
+		})
+	},
+}
+
+// PresetNames lists the available workload presets, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset generates a named symmetric benchmark workload. Fat-tree
+// presets come out intact (break them with BreakFatTree); the data
+// center preset is generated already broken, as DataCenter always is.
+func Preset(name string, seed int64) (*Instance, error) {
+	gen, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("generate: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return gen(seed)
+}

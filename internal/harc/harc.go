@@ -11,6 +11,9 @@ package harc
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/arc"
 	"repro/internal/graph"
@@ -194,7 +197,10 @@ func (st *State) Clone() *State {
 }
 
 // StateOf extracts the current state of the HARC: presence of every slot
-// at every level and the cost of every directed interface.
+// at every level and the cost of every directed interface. The
+// per-destination and per-traffic-class scans are independent and run
+// on one worker per core (the concrete maps are staged per index and
+// merged serially, so the result is deterministic).
 func StateOf(h *HARC) *State {
 	st := NewState()
 	for _, s := range h.Slots {
@@ -209,40 +215,98 @@ func StateOf(h *HARC) *State {
 	for _, l := range h.Network.Links {
 		st.Waypoint[l.Name()] = l.Waypoint
 	}
-	for _, dst := range h.Dsts {
-		m := make(map[string]bool)
-		for _, s := range h.Slots {
-			if s.Kind == arc.SlotSource {
-				continue
-			}
-			if s.Kind == arc.SlotDest && s.Subnet != dst {
-				continue
-			}
-			m[s.Key()] = s.PresentDst(dst)
-			switch s.Kind {
-			case arc.SlotIntraSelf:
-				st.RouteFilter[RFKey(dst.Name, s.FromProc.Name())] =
-					s.FromProc.BlocksDestination(dst.Prefix)
-			case arc.SlotInterDevice:
-				st.Static[StaticKey(dst.Name, s.Key())] = s.StaticBacked(dst) != nil
-			}
-		}
-		st.Dst[dst.Name] = m
+
+	type dstMaps struct {
+		m, rf, static map[string]bool
 	}
-	for _, tc := range h.TCs {
-		m := make(map[string]bool)
-		for _, s := range h.Slots {
-			if s.Kind == arc.SlotSource && s.Subnet != tc.Src {
-				continue
+	dstOut := make([]dstMaps, len(h.Dsts))
+	tcOut := make([]map[string]bool, len(h.TCs))
+	total := len(h.Dsts) + len(h.TCs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if i < len(h.Dsts) {
+					dstOut[i] = dstMaps{m: stateOfDst(h, h.Dsts[i])}
+					dstOut[i].rf, dstOut[i].static = stateOfConstructs(h, h.Dsts[i])
+				} else {
+					tcOut[i-len(h.Dsts)] = stateOfTC(h, h.TCs[i-len(h.Dsts)])
+				}
 			}
-			if s.Kind == arc.SlotDest && s.Subnet != tc.Dst {
-				continue
-			}
-			m[s.Key()] = s.PresentTC(tc)
+		}()
+	}
+	wg.Wait()
+	for i, dst := range h.Dsts {
+		st.Dst[dst.Name] = dstOut[i].m
+		for k, v := range dstOut[i].rf {
+			st.RouteFilter[k] = v
 		}
-		st.TC[tc.Key()] = m
+		for k, v := range dstOut[i].static {
+			st.Static[k] = v
+		}
+	}
+	for i, tc := range h.TCs {
+		st.TC[tc.Key()] = tcOut[i]
 	}
 	return st
+}
+
+// stateOfDst computes one destination's dETG presence map.
+func stateOfDst(h *HARC, dst *topology.Subnet) map[string]bool {
+	m := make(map[string]bool)
+	for _, s := range h.Slots {
+		if s.Kind == arc.SlotSource {
+			continue
+		}
+		if s.Kind == arc.SlotDest && s.Subnet != dst {
+			continue
+		}
+		m[s.Key()] = s.PresentDst(dst)
+	}
+	return m
+}
+
+// stateOfConstructs computes one destination's route-filter and
+// static-route construct maps.
+func stateOfConstructs(h *HARC, dst *topology.Subnet) (rf, static map[string]bool) {
+	rf = make(map[string]bool)
+	static = make(map[string]bool)
+	for _, s := range h.Slots {
+		switch s.Kind {
+		case arc.SlotIntraSelf:
+			rf[RFKey(dst.Name, s.FromProc.Name())] =
+				s.FromProc.BlocksDestination(dst.Prefix)
+		case arc.SlotInterDevice:
+			static[StaticKey(dst.Name, s.Key())] = s.StaticBacked(dst) != nil
+		}
+	}
+	return rf, static
+}
+
+// stateOfTC computes one traffic class's tcETG presence map.
+func stateOfTC(h *HARC, tc topology.TrafficClass) map[string]bool {
+	m := make(map[string]bool)
+	for _, s := range h.Slots {
+		if s.Kind == arc.SlotSource && s.Subnet != tc.Src {
+			continue
+		}
+		if s.Kind == arc.SlotDest && s.Subnet != tc.Dst {
+			continue
+		}
+		m[s.Key()] = s.PresentTC(tc)
+	}
+	return m
 }
 
 // procStatic reports whether the state has a static route for dst

@@ -347,6 +347,18 @@ type RepairProblem struct {
 	Violations int     `json:"violations"`
 	Conflicts  int64   `json:"conflicts"`
 	DurationMS float64 `json:"duration_ms"`
+	// Compressed reports that the sub-problem was solved on a
+	// symmetry-compressed quotient network and the concretized patch
+	// re-verified on the full network.
+	Compressed bool `json:"compressed,omitempty"`
+	// QuotientDevices/DeviceClasses/CompressRatio describe the quotient
+	// when Compressed is set; CompressFallback names the stage at which
+	// compression was abandoned for this sub-problem, when it was tried
+	// and fell back to the uncompressed path.
+	QuotientDevices  int     `json:"quotient_devices,omitempty"`
+	DeviceClasses    int     `json:"device_classes,omitempty"`
+	CompressRatio    float64 `json:"compress_ratio,omitempty"`
+	CompressFallback string  `json:"compress_fallback,omitempty"`
 }
 
 // RepairResponse is the POST /v1/repair reply.
@@ -364,7 +376,12 @@ type RepairResponse struct {
 	PatchedConfigs map[string]string `json:"patched_configs,omitempty"`
 	Conflicts      int64             `json:"conflicts"`
 	DurationMS     float64           `json:"duration_ms"`
-	Problems       []RepairProblem   `json:"problems"`
+	// Compressed counts sub-problems solved on symmetry-compressed
+	// quotients; CompressFallbacks counts sub-problems where compression
+	// was attempted but fell back to the uncompressed path.
+	Compressed        int             `json:"compressed,omitempty"`
+	CompressFallbacks int             `json:"compress_fallbacks,omitempty"`
+	Problems          []RepairProblem `json:"problems"`
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
@@ -430,14 +447,16 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := RepairResponse{
-		Solved:         out.Solved(),
-		Degraded:       out.Result.Degraded,
-		Failed:         out.Result.Failed,
-		Changes:        out.Result.Changes,
-		Conflicts:      out.Result.Conflicts,
-		DurationMS:     float64(out.Result.Duration) / float64(time.Millisecond),
-		PatchedConfigs: out.PatchedConfigs,
-		Problems:       make([]RepairProblem, 0, len(out.Result.Stats)),
+		Solved:            out.Solved(),
+		Degraded:          out.Result.Degraded,
+		Failed:            out.Result.Failed,
+		Changes:           out.Result.Changes,
+		Conflicts:         out.Result.Conflicts,
+		DurationMS:        float64(out.Result.Duration) / float64(time.Millisecond),
+		PatchedConfigs:    out.PatchedConfigs,
+		Compressed:        out.Result.Compressed,
+		CompressFallbacks: out.Result.CompressFallbacks,
+		Problems:          make([]RepairProblem, 0, len(out.Result.Stats)),
 	}
 	if out.Plan != nil {
 		resp.Plan = out.Plan.String()
@@ -462,9 +481,16 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			Violations: st.Violations,
 			Conflicts:  st.Conflicts,
 			DurationMS: float64(st.Duration) / float64(time.Millisecond),
+
+			Compressed:       st.Compressed,
+			QuotientDevices:  st.QuotientDevices,
+			DeviceClasses:    st.DeviceClasses,
+			CompressRatio:    st.CompressRatio,
+			CompressFallback: st.CompressFallback,
 		})
 	}
 	s.stats.recordOutcomes(solvedProblems, out.Result.Degraded, out.Result.Failed)
+	s.stats.recordCompression(out.Result.Compressed, out.Result.CompressFallbacks)
 	writeJSON(w, http.StatusOK, resp)
 }
 

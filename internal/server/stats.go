@@ -62,6 +62,12 @@ type stats struct {
 	dstDegraded int64
 	dstFailed   int64
 
+	// Symmetry compression, summed across completed solves: sub-problems
+	// solved on quotient networks and sub-problems that tried compression
+	// but fell back uncompressed.
+	dstCompressed        int64
+	dstCompressFallbacks int64
+
 	endpoints map[string]*histogram
 }
 
@@ -132,6 +138,15 @@ func (st *stats) recordOutcomes(solved, degraded, failed int) {
 	st.dstSolved += int64(solved)
 	st.dstDegraded += int64(degraded)
 	st.dstFailed += int64(failed)
+	st.mu.Unlock()
+}
+
+// recordCompression accumulates one repair's symmetry-compression
+// dispositions (quotient-solved sub-problems and fallbacks).
+func (st *stats) recordCompression(compressed, fallbacks int) {
+	st.mu.Lock()
+	st.dstCompressed += int64(compressed)
+	st.dstCompressFallbacks += int64(fallbacks)
 	st.mu.Unlock()
 }
 
@@ -215,6 +230,11 @@ type Statsz struct {
 		Solved   int64 `json:"solved"`
 		Degraded int64 `json:"degraded"`
 		Failed   int64 `json:"failed"`
+		// Compressed counts sub-problems solved on symmetry-compressed
+		// quotient networks; CompressFallbacks counts sub-problems where
+		// compression was attempted but abandoned.
+		Compressed        int64 `json:"compressed"`
+		CompressFallbacks int64 `json:"compress_fallbacks"`
 	} `json:"destinations"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
@@ -243,6 +263,8 @@ func (st *stats) snapshot(sessions int) Statsz {
 	out.Destinations.Solved = st.dstSolved
 	out.Destinations.Degraded = st.dstDegraded
 	out.Destinations.Failed = st.dstFailed
+	out.Destinations.Compressed = st.dstCompressed
+	out.Destinations.CompressFallbacks = st.dstCompressFallbacks
 	out.Endpoints = make(map[string]EndpointStats, len(st.endpoints))
 	for name, h := range st.endpoints {
 		es := EndpointStats{Count: h.Count, SumMS: h.SumMS, BucketsMS: make(map[string]int64, len(h.Buckets))}

@@ -37,6 +37,13 @@ type OptionFlags struct {
 	// NoFallback disables greedy degradation: exhausted destinations are
 	// marked failed instead.
 	NoFallback bool `json:"no_fallback,omitempty"`
+	// Compress is "auto" (default: compress eligible sub-problems on
+	// networks with at least 24 devices), "on", or "off" — Bonsai-style
+	// symmetry compression with concrete re-verification.
+	Compress string `json:"compress,omitempty"`
+	// CompressRedundancy overrides the representative members kept per
+	// role-equivalence class (0 = derive from the problem's policies).
+	CompressRedundancy int `json:"compress_redundancy,omitempty"`
 }
 
 // Resolve converts the string-level flags into engine Options, rejecting
@@ -94,5 +101,19 @@ func (f OptionFlags) Resolve() (Options, error) {
 	}
 	opts.DstTimeout = time.Duration(f.DstTimeoutMS) * time.Millisecond
 	opts.DisableFallback = f.NoFallback
+	switch f.Compress {
+	case "", "auto":
+		opts.Compress = core.CompressAuto
+	case "on":
+		opts.Compress = core.CompressOn
+	case "off":
+		opts.Compress = core.CompressOff
+	default:
+		return opts, fmt.Errorf("unknown compress %q (want auto, on, or off)", f.Compress)
+	}
+	if f.CompressRedundancy < 0 {
+		return opts, fmt.Errorf("negative compress redundancy %d", f.CompressRedundancy)
+	}
+	opts.CompressRedundancy = f.CompressRedundancy
 	return opts, nil
 }
