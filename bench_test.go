@@ -386,50 +386,30 @@ func BenchmarkSubstrateVerifyAllPolicies(b *testing.B) {
 
 // --- cprd daemon benchmarks ---
 
-// BenchmarkServerRepairWarm measures a repair against an already-loaded
-// session: after the single cold load, every iteration goes straight to
-// the solver — no config parsing, no HARC build. Compare with
-// BenchmarkEndToEndPublicAPI, which pays Load on every iteration. The
-// final statsz assertion proves the warm path never rebuilt.
-func BenchmarkServerRepairWarm(b *testing.B) {
-	srv := server.New(server.Config{})
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-
-	post := func(path string, body, out any) {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			b.Fatal(err)
-		}
-		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			b.Fatalf("%s status = %d", path, resp.StatusCode)
-		}
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			b.Fatal(err)
-		}
+// benchPost is the JSON POST helper shared by the server benchmarks.
+func benchPost(b *testing.B, url, path string, body, out any) {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
 	}
-
-	var lr server.LoadResponse
-	post("/v1/load", server.LoadRequest{Configs: config.Figure2aConfigs()}, &lr)
-	const spec = "always-blocked S U\nalways-waypoint S T\nreachable S T 2\nprimary-path R T A,B,C\n"
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var rr server.RepairResponse
-		post("/v1/repair", server.RepairRequest{Session: lr.Session, Policies: spec}, &rr)
-		if !rr.Solved {
-			b.Fatal("repair unsolved")
-		}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
 	}
-	b.StopTimer()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s status = %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		b.Fatal(err)
+	}
+}
 
+func benchStatsz(b *testing.B, url string) server.Statsz {
+	b.Helper()
 	var sz server.Statsz
-	resp, err := http.Get(ts.URL + "/statsz")
+	resp, err := http.Get(url + "/statsz")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -437,8 +417,114 @@ func BenchmarkServerRepairWarm(b *testing.B) {
 	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
 		b.Fatal(err)
 	}
-	if sz.Cache.Builds != 1 {
+	return sz
+}
+
+// BenchmarkServerRepairWarm measures a repair against an already-loaded
+// session: after the single cold load, every iteration goes straight to
+// the solver — no config parsing, no HARC build. The session solve cache
+// is disabled so every iteration really re-encodes and re-solves (the
+// replayed-repair regime is BenchmarkServerRepairChurn's subject).
+// Compare with BenchmarkEndToEndPublicAPI, which pays Load on every
+// iteration. The final statsz assertion proves the warm path never
+// rebuilt.
+func BenchmarkServerRepairWarm(b *testing.B) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var lr server.LoadResponse
+	benchPost(b, ts.URL, "/v1/load", server.LoadRequest{Configs: config.Figure2aConfigs()}, &lr)
+	const spec = "always-blocked S U\nalways-waypoint S T\nreachable S T 2\nprimary-path R T A,B,C\n"
+	opts := cpr.OptionFlags{SolveCache: "off"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rr server.RepairResponse
+		benchPost(b, ts.URL, "/v1/repair", server.RepairRequest{Session: lr.Session, Policies: spec, Options: opts}, &rr)
+		if !rr.Solved {
+			b.Fatal("repair unsolved")
+		}
+		if rr.Reused != 0 {
+			b.Fatal("warm bench replayed a sub-problem despite solve_cache=off")
+		}
+	}
+	b.StopTimer()
+
+	if sz := benchStatsz(b, ts.URL); sz.Cache.Builds != 1 {
 		b.Fatalf("builds = %d, want 1 (warm repairs must skip parse/build)", sz.Cache.Builds)
+	}
+}
+
+// BenchmarkServerRepairChurn measures the incremental-repair regime:
+// each iteration posts a one-device config delta (toggling an ACL on a
+// device no policy traffic class crosses) and repairs the resulting
+// session. After the first toggle cycle both content keys are cached
+// with warm solve caches, so the steady state is one /v1/delta cache hit
+// plus one /v1/repair that replays every sub-problem — no SAT solving.
+// The target pinned by BENCH_baseline.json is ≥10× below
+// BenchmarkServerRepairWarm's full re-solve.
+func BenchmarkServerRepairChurn(b *testing.B) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	configs := config.Figure2aConfigs()
+	var lr server.LoadResponse
+	benchPost(b, ts.URL, "/v1/load", server.LoadRequest{Configs: configs}, &lr)
+	const spec = "always-blocked S U\nalways-waypoint S T\nreachable S T 2\nprimary-path R T A,B,C\n"
+
+	// Warm the base session's solve cache once, then alternate between
+	// the original device C text and a variant with an extra ACL.
+	var rr server.RepairResponse
+	benchPost(b, ts.URL, "/v1/repair", server.RepairRequest{Session: lr.Session, Policies: spec}, &rr)
+	if !rr.Solved {
+		b.Fatal("warmup repair unsolved")
+	}
+	variants := [2]string{
+		configs["C"] + "ip access-list extended CHURN\n deny ip 10.40.0.0 0.0.255.255 10.10.0.0 0.0.255.255\n permit ip any any\n!\n",
+		configs["C"],
+	}
+
+	// One full toggle cycle before the timer builds both delta sessions
+	// and warms their caches, so even a single timed iteration measures
+	// the steady state rather than the first-toggle session build.
+	session := lr.Session
+	churn := func(i int) {
+		var dr server.DeltaResponse
+		benchPost(b, ts.URL, "/v1/delta", server.DeltaRequest{
+			Session: session,
+			Configs: map[string]string{"C": variants[i%2]},
+		}, &dr)
+		session = dr.Session
+		var rr server.RepairResponse
+		benchPost(b, ts.URL, "/v1/repair", server.RepairRequest{Session: session, Policies: spec}, &rr)
+		if !rr.Solved {
+			b.Fatal("churn repair unsolved")
+		}
+		if rr.Reused != len(rr.Problems) {
+			b.Fatalf("churn repair reused %d of %d sub-problems, want all (the bench must measure replay, not re-solving)",
+				rr.Reused, len(rr.Problems))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		churn(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churn(i)
+	}
+	b.StopTimer()
+
+	sz := benchStatsz(b, ts.URL)
+	if sz.Cache.Builds != 1 {
+		b.Fatalf("builds = %d, want 1", sz.Cache.Builds)
+	}
+	// Only the first toggle of each variant derives a new session; all
+	// later deltas hit the cache by content key.
+	if sz.Cache.DeltaBuilds > 2 {
+		b.Fatalf("delta builds = %d, want ≤2 (oscillating churn must hit the session cache)", sz.Cache.DeltaBuilds)
 	}
 }
 

@@ -45,6 +45,8 @@ func main() {
 		dstTimeout = flag.Duration("dst-timeout", 0, "per-destination watchdog deadline (0 = derive from -timeout)")
 		noFallback = flag.Bool("no-fallback", false, "disable greedy degradation of exhausted destinations")
 		compress   = flag.String("compress", "auto", "symmetry compression: auto, on, or off")
+		solveCache = flag.String("solve-cache", "on", "session solve cache on repeat repairs: on or off (cprd sessions only; a one-shot cpr run has nothing to reuse)")
+		warmStart  = flag.Bool("warm-start", false, "seed solver phases from the previous repair's model (relaxes cross-call byte-identity)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -71,6 +73,8 @@ func main() {
 		DstTimeoutMS:   dstTimeout.Milliseconds(),
 		NoFallback:     *noFallback,
 		Compress:       *compress,
+		SolveCache:     *solveCache,
+		WarmStart:      *warmStart,
 	}
 	runErr := run(*configDir, *policyFile, *outDir, *verifyOnly, *showStats, optFlags, *timeout)
 	if perr := stopProf(); perr != nil && runErr == nil {

@@ -10,11 +10,19 @@
 // Endpoints (see the README section "Running cprd" for JSON shapes):
 //
 //	POST /v1/load     parse configs → cached session (content hash)
+//	POST /v1/delta    derive a session from a cached one + changed configs
 //	POST /v1/verify   violated policies of a cached session
 //	POST /v1/explain  counterexamples for violated policies
 //	POST /v1/repair   minimal repair (worker pool; 429 when saturated)
 //	GET  /healthz     liveness
-//	GET  /statsz      cache/solver/latency statistics
+//	GET  /statsz      cache/solver/latency/retained-memory statistics
+//
+// Sessions are incremental: each cached session retains its solved
+// sub-problems (encoding + SAT solver + model), and /v1/delta derives a
+// new session that re-parses only the changed configs and replays any
+// retained sub-problem a change cannot reach — byte-identical to a cold
+// solve, at a fraction of the latency. LRU eviction releases retained
+// solver memory (visible under "retained" in /statsz).
 //
 // With -pprof ADDR, net/http/pprof is served on a second listener so live
 // CPU/heap profiles can be pulled from a running daemon without exposing

@@ -35,6 +35,7 @@ var oracles = []oracle{
 	{"arenagc", crosscheck.CheckArenaGC},
 	{"repair", crosscheck.CheckRepair},
 	{"compress", crosscheck.CheckCompress},
+	{"incremental", crosscheck.CheckIncremental},
 }
 
 func main() {
@@ -42,7 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed; iteration i uses seed+i")
 		n        = flag.Int("n", 100, "iterations per oracle")
 		duration = flag.Duration("duration", 0, "time budget (overrides -n when set)")
-		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, arenagc, repair, or compress")
+		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, arenagc, repair, compress, or incremental")
 		outDir   = flag.String("out", "", "directory for reproducer artifacts (default: a fresh temp dir)")
 	)
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, arenagc, repair, or compress)\n", *which)
+		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, arenagc, repair, compress, or incremental)\n", *which)
 		os.Exit(2)
 	}
 

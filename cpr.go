@@ -84,31 +84,59 @@ type System struct {
 // Load parses the given configurations (keyed by any label; hostnames
 // come from the text) and builds the network model and HARC.
 func Load(configs map[string]string) (*System, error) {
-	keys := make([]string, 0, len(configs))
-	for k := range configs {
-		keys = append(keys, k)
+	parsed, err := parseLabeled(configs)
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(keys)
-	var parsed []*config.Config
-	byHost := make(map[string]*config.Config, len(configs))
-	labelOf := make(map[string]string, len(configs))
-	for _, k := range keys {
+	return systemFromParsed(parsed)
+}
+
+// parseLabeled parses every configuration text, keyed by its label.
+func parseLabeled(configs map[string]string) (map[string]*config.Config, error) {
+	out := make(map[string]*config.Config, len(configs))
+	for _, k := range sortedLabels(configs) {
 		c, err := config.Parse(k, configs[k])
 		if err != nil {
 			return nil, err
 		}
-		parsed = append(parsed, c)
+		out[k] = c
+	}
+	return out, nil
+}
+
+// systemFromParsed builds the network model and HARC from parsed
+// configurations keyed by label. Parsed configs may be shared between
+// systems (Session.Delta reuses unchanged ones): Extract and the repair
+// pipeline treat them as read-only, and translate clones before
+// patching.
+func systemFromParsed(parsed map[string]*config.Config) (*System, error) {
+	byHost := make(map[string]*config.Config, len(parsed))
+	labelOf := make(map[string]string, len(parsed))
+	ordered := make([]*config.Config, 0, len(parsed))
+	for _, k := range sortedLabels(parsed) {
+		c := parsed[k]
+		ordered = append(ordered, c)
 		if prev, ok := labelOf[c.Hostname]; ok {
 			return nil, fmt.Errorf("cpr: duplicate hostname %q (configs %q and %q)", c.Hostname, prev, k)
 		}
 		labelOf[c.Hostname] = k
 		byHost[c.Hostname] = c
 	}
-	n, err := config.Extract(parsed)
+	n, err := config.Extract(ordered)
 	if err != nil {
 		return nil, err
 	}
 	return &System{Configs: byHost, Network: n, HARC: harc.Build(n)}, nil
+}
+
+// sortedLabels returns the map's keys in ascending order.
+func sortedLabels[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // ParsePolicies parses a policy specification (one policy per line; see

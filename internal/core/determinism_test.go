@@ -44,6 +44,7 @@ func project(res *Result) comparableResult {
 	copy(stats, res.Stats)
 	for i := range stats {
 		stats[i].Duration = 0
+		stats[i].Reused = false
 	}
 	return comparableResult{
 		State:    res.State,
@@ -59,51 +60,80 @@ func project(res *Result) comparableResult {
 // TestRepairDeterministicAcrossParallelism pins the Parallelism contract:
 // 1 worker, 4 workers, and the GOMAXPROCS default must produce identical
 // results — same repaired state, same change count, same per-problem
-// statistics — under fault isolation on and off. Run with -race, this
-// also exercises the shared read-only encoding tables across workers.
+// statistics — under fault isolation on and off, and with the
+// incremental solve cache both absent and replaying (a cached replay
+// must be byte-identical to the fresh solve it memoized, at every
+// parallelism). Run with -race, this also exercises the shared
+// read-only encoding tables and the solve cache's store/lookup path
+// across workers.
 func TestRepairDeterministicAcrossParallelism(t *testing.T) {
 	h, ps := determinismFixture(t)
+	freshRef := map[string]comparableResult{}
 	for _, iso := range []IsolationMode{IsolationOn, IsolationOff} {
 		// Compression is forced on (the 8-router fixture sits below the
 		// auto threshold) so the quotient build, solve, and patch
 		// concretization are all under the same byte-identical contract.
 		for _, cmp := range []CompressMode{CompressOff, CompressOn} {
-			t.Run(fmt.Sprintf("isolation=%v/compress=%v", iso, cmp), func(t *testing.T) {
-				var ref comparableResult
-				for i, par := range []int{1, 4, 0} {
-					opts := DefaultOptions()
-					opts.Isolation = iso
-					opts.Compress = cmp
-					opts.Parallelism = par
-					res, err := Repair(h, ps, opts)
-					if err != nil {
-						t.Fatalf("Repair(parallelism=%d): %v", par, err)
+			for _, inc := range []bool{false, true} {
+				t.Run(fmt.Sprintf("isolation=%v/compress=%v/incremental=%v", iso, cmp, inc), func(t *testing.T) {
+					var ref comparableResult
+					for i, par := range []int{1, 4, 0} {
+						opts := DefaultOptions()
+						opts.Isolation = iso
+						opts.Compress = cmp
+						opts.Parallelism = par
+						if inc {
+							// Fresh cache per parallelism setting: prime it with
+							// one solve, then measure the replay. The replay must
+							// reuse every sub-problem and match the fresh result
+							// other runs produce without a cache.
+							opts.Cache = NewSolveCache("det-epoch")
+							if _, err := Repair(h, ps, opts); err != nil {
+								t.Fatalf("prime Repair(parallelism=%d): %v", par, err)
+							}
+						}
+						res, err := Repair(h, ps, opts)
+						if err != nil {
+							t.Fatalf("Repair(parallelism=%d): %v", par, err)
+						}
+						if !res.Solved {
+							t.Fatalf("Repair(parallelism=%d) unsolved: %+v", par, res.Stats)
+						}
+						if inc && res.Reused != len(res.Stats) {
+							t.Fatalf("Repair(parallelism=%d) replayed %d of %d problems, want all",
+								par, res.Reused, len(res.Stats))
+						}
+						got := project(res)
+						if i == 0 {
+							ref = got
+							continue
+						}
+						if !reflect.DeepEqual(got.State, ref.State) {
+							t.Errorf("parallelism=%d: repaired state differs from parallelism=1", par)
+						}
+						if got.Changes != ref.Changes {
+							t.Errorf("parallelism=%d: changes %d != %d", par, got.Changes, ref.Changes)
+						}
+						if !reflect.DeepEqual(got.Repaired, ref.Repaired) {
+							t.Errorf("parallelism=%d: repaired policy set differs", par)
+						}
+						if !reflect.DeepEqual(got.Stats, ref.Stats) {
+							t.Errorf("parallelism=%d: stats differ\n got %+v\nwant %+v", par, got.Stats, ref.Stats)
+						}
+						if got.Solved != ref.Solved || got.Degraded != ref.Degraded || got.Failed != ref.Failed {
+							t.Errorf("parallelism=%d: outcome counts differ", par)
+						}
 					}
-					if !res.Solved {
-						t.Fatalf("Repair(parallelism=%d) unsolved: %+v", par, res.Stats)
+					// The cached replay must equal the fresh solve from the
+					// incremental=false run of the same mode pair.
+					mode := fmt.Sprintf("%v/%v", iso, cmp)
+					if !inc {
+						freshRef[mode] = ref
+					} else if fresh, ok := freshRef[mode]; ok && !reflect.DeepEqual(ref, fresh) {
+						t.Errorf("cached replay differs from fresh solve for %s", mode)
 					}
-					got := project(res)
-					if i == 0 {
-						ref = got
-						continue
-					}
-					if !reflect.DeepEqual(got.State, ref.State) {
-						t.Errorf("parallelism=%d: repaired state differs from parallelism=1", par)
-					}
-					if got.Changes != ref.Changes {
-						t.Errorf("parallelism=%d: changes %d != %d", par, got.Changes, ref.Changes)
-					}
-					if !reflect.DeepEqual(got.Repaired, ref.Repaired) {
-						t.Errorf("parallelism=%d: repaired policy set differs", par)
-					}
-					if !reflect.DeepEqual(got.Stats, ref.Stats) {
-						t.Errorf("parallelism=%d: stats differ\n got %+v\nwant %+v", par, got.Stats, ref.Stats)
-					}
-					if got.Solved != ref.Solved || got.Degraded != ref.Degraded || got.Failed != ref.Failed {
-						t.Errorf("parallelism=%d: outcome counts differ", par)
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 }

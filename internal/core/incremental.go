@@ -1,0 +1,498 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/harc"
+	"repro/internal/smt/sat"
+)
+
+// SolveCache memoizes per-sub-problem solves across Repair calls on the
+// same (or an incrementally updated) network. Each entry is keyed by a
+// fingerprint of the sub-problem's complete encoding closure — the
+// options, policies, tables rows, and every original-state value the
+// encoder bakes into constraints, soft weights, or phase seeds — so a
+// hit replays a result byte-identical to what a fresh solve would
+// produce: the solver is deterministic, and two sub-problems with equal
+// fingerprints build equal formulas.
+//
+// Entries retain the live encoder (interned formula.Pool plus the
+// sat.Solver with its learned clauses and saved phases), which makes the
+// session's memory footprint observable (Stats) and reclaimable
+// (Release), and supplies the model that WarmStart seeds re-solves from.
+//
+// A SolveCache is safe for concurrent use by parallel per-destination
+// workers and by concurrent Repair calls sharing one session.
+type SolveCache struct {
+	mu      sync.Mutex
+	epoch   string
+	entries map[string]*solveEntry
+	// lastModel maps a sub-problem label to the most recently stored
+	// model's phase vector, the WarmStart seed for re-solves of the same
+	// destination after its fingerprint was invalidated.
+	lastModel map[string][]bool
+	hits      uint64
+	misses    uint64
+	stores    uint64
+}
+
+// solveEntry is one memoized terminal sub-problem outcome. Entries are
+// immutable after store; replay only copies out of them.
+type solveEntry struct {
+	stat ProblemStat // Duration zeroed; Reused set on replay
+	// extracted holds the model extraction of an uncompressed Sat solve,
+	// captured once into a scratch state at store time (problem-local
+	// keys only). nil for Unsat and compressed entries.
+	extracted *harc.State
+	// realized/realizedChanges hold a compressed solve's concretized
+	// repair state for mergeRealized.
+	realized        *harc.State
+	realizedChanges int
+	// enc is the retained live encoder (pool + solver) of an uncompressed
+	// solve; nil for compressed entries, whose quotient encoder is
+	// discarded inside tryCompressed.
+	enc   *encoder
+	model []bool
+	bytes int64
+}
+
+// NewSolveCache returns an empty cache. epoch must identify the exact
+// config set of the session (cprd uses the content-addressed session
+// key): it is folded into the fingerprint of compression-eligible
+// sub-problems, whose quotient construction reads the whole network
+// rather than just the sub-problem's closure. An empty epoch disables
+// caching for those sub-problems only.
+func NewSolveCache(epoch string) *SolveCache {
+	return &SolveCache{
+		epoch:     epoch,
+		entries:   make(map[string]*solveEntry),
+		lastModel: make(map[string][]bool),
+	}
+}
+
+// Epoch returns the config-set identity this cache was built or forked
+// for.
+func (c *SolveCache) Epoch() string { return c.epoch }
+
+// Fork snapshots the cache for a derived session under a new epoch.
+// Entries and models are shared by reference (they are immutable);
+// counters start fresh. Entries whose fingerprint embedded the old
+// epoch simply never match again and age out when the forked session is
+// released.
+func (c *SolveCache) Fork(epoch string) *SolveCache {
+	nc := NewSolveCache(epoch)
+	if c == nil {
+		return nc
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range c.entries {
+		nc.entries[k] = v
+	}
+	for k, v := range c.lastModel {
+		nc.lastModel[k] = v
+	}
+	return nc
+}
+
+// SolveCacheStats is a point-in-time cache summary.
+type SolveCacheStats struct {
+	Entries int
+	// Solvers counts entries retaining a live encoder/solver pair.
+	Solvers int
+	Hits    uint64
+	Misses  uint64
+	Stores  uint64
+	// RetainedBytes estimates the memory pinned by retained encoders,
+	// solvers, and staged replay states.
+	RetainedBytes int64
+}
+
+// Stats returns current counters and retained-memory accounting.
+func (c *SolveCache) Stats() SolveCacheStats {
+	if c == nil {
+		return SolveCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := SolveCacheStats{
+		Entries: len(c.entries),
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Stores:  c.stores,
+	}
+	for _, e := range c.entries {
+		st.RetainedBytes += e.bytes
+		if e.enc != nil {
+			st.Solvers++
+		}
+	}
+	return st
+}
+
+// Release drops every entry, unpinning the retained solvers and pools.
+// The session cache calls this on LRU eviction so long-lived solvers
+// cannot leak past their session's lifetime.
+func (c *SolveCache) Release() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*solveEntry)
+	c.lastModel = make(map[string][]bool)
+}
+
+func (c *SolveCache) lookup(fp string) *solveEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[fp]
+	if e != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e
+}
+
+// store inserts an entry; the first store for a fingerprint wins, so
+// concurrent Repair calls racing on the same sub-problem keep one
+// consistent entry (both computed byte-identical results anyway).
+func (c *SolveCache) store(fp string, e *solveEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[fp]; !ok {
+		c.entries[fp] = e
+		c.stores++
+	}
+	if e.model != nil {
+		c.lastModel[e.stat.Label] = e.model
+	}
+}
+
+// priorModel returns the last stored model for a sub-problem label, the
+// WarmStart phase seed.
+func (c *SolveCache) priorModel(label string) []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastModel[label]
+}
+
+// replay copies the memoized outcome onto the problem. The caller's
+// deferred Duration measurement still applies, so replayed stats carry
+// the (sub-millisecond) lookup time instead of the original solve time.
+func (e *solveEntry) replay(pr *problem) {
+	pr.stat = e.stat
+	pr.stat.Reused = true
+	pr.cached = e
+	pr.realized = e.realized
+	pr.realizedChanges = e.realizedChanges
+}
+
+// fpWriter streams length-framed tokens into a hash, avoiding ambiguity
+// between adjacent fields without per-token allocations.
+type fpWriter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func (w *fpWriter) str(s string) {
+	w.buf = strconv.AppendInt(w.buf[:0], int64(len(s)), 10)
+	w.buf = append(w.buf, ':')
+	w.h.Write(w.buf)
+	io.WriteString(w.h, s)
+}
+
+func (w *fpWriter) i64(v int64) {
+	w.buf = strconv.AppendInt(w.buf[:0], v, 10)
+	w.buf = append(w.buf, ',')
+	w.h.Write(w.buf)
+}
+
+func (w *fpWriter) boolean(v bool) {
+	if v {
+		w.h.Write([]byte{'T'})
+	} else {
+		w.h.Write([]byte{'F'})
+	}
+}
+
+// fingerprintVersion tags the hash layout; bump it whenever the encoder
+// reads a new input, so stale-layout fingerprints cannot collide.
+const fingerprintVersion = "cprfp1"
+
+// problemFingerprint hashes the complete input closure of one
+// sub-problem's encode+solve: every table row, original-state value,
+// and option the encoder reads. Two sub-problems with equal
+// fingerprints produce byte-identical formulas, variable numberings,
+// and therefore models — the soundness contract the solve cache rests
+// on (see DESIGN.md).
+//
+// The second return is false when the sub-problem cannot be safely
+// fingerprinted: it is compression-eligible (the quotient construction
+// reads the whole network) and the cache has no config-set epoch to pin
+// that global input.
+func problemFingerprint(tb *tables, orig *harc.State, pr *problem, opts Options, epoch string) (string, bool) {
+	w := &fpWriter{h: sha256.New()}
+	w.str(fingerprintVersion)
+
+	// Global inputs: the quotient path reads the entire network, so
+	// compression-eligible problems pin the full config-set epoch.
+	if compressEligible(tb.h, pr, opts) {
+		if epoch == "" {
+			return "", false
+		}
+		w.str(epoch)
+	}
+
+	// Options the encoder or solver reads.
+	w.i64(int64(opts.Granularity))
+	w.i64(int64(opts.Algorithm))
+	w.i64(int64(opts.Objective))
+	w.i64(int64(opts.CostBits))
+	w.i64(int64(opts.DistBits))
+	w.boolean(opts.AllowWaypointChanges)
+	w.i64(int64(opts.WaypointWeight))
+	w.i64(opts.ConflictBudget)
+	w.i64(int64(opts.Compress))
+	w.i64(int64(opts.CompressRedundancy))
+	w.boolean(pr.freeze)
+	w.str(pr.label)
+
+	// Policies fully identify themselves (kind, endpoints, K, path).
+	w.i64(int64(len(pr.policies)))
+	for _, p := range pr.policies {
+		w.str(p.String())
+	}
+
+	// The process table: rfVar rows allocate one variable per process in
+	// table order, so the full list pins variable numbering; procDev pins
+	// soft-constraint device attribution.
+	w.i64(int64(len(tb.procs)))
+	for i := range tb.procs {
+		w.str(tb.procName[i])
+		w.str(tb.procDev[i])
+	}
+
+	// Per-traffic-class closure: applicability row (with vertex indices,
+	// which pin the ETG shape) and original tc-level presence.
+	w.i64(int64(len(pr.tcs)))
+	for _, tc := range pr.tcs {
+		w.str(tc.Key())
+		w.str(tc.Src.Prefix.String())
+		w.str(tc.Dst.Prefix.String())
+		t := tb.tc[tc.Key()]
+		tm := orig.TC[tc.Key()]
+		w.i64(int64(len(t.slots)))
+		for k, si := range t.slots {
+			w.str(tb.key[si])
+			w.i64(int64(t.fromV[k]))
+			w.i64(int64(t.toV[k]))
+			w.boolean(tm[tb.key[si]])
+		}
+	}
+
+	// Per-destination closure: every applicable slot's identity, costs,
+	// waypoints, constructs, and original presence at the dst and (for
+	// frozen problems, where eA bakes constants) the all level.
+	dsts := pr.dsts()
+	w.i64(int64(len(dsts)))
+	for _, dst := range dsts {
+		w.str(dst.Name)
+		w.str(dst.Prefix.String())
+		dm := orig.Dst[dst.Name]
+		row := tb.dst[dst.Name].slots
+		w.i64(int64(len(row)))
+		for _, si := range row {
+			s := tb.slots[si]
+			key := tb.key[si]
+			w.str(key)
+			w.i64(int64(s.Kind))
+			w.i64(int64(tb.canon[si]))
+			w.str(tb.aclDev[si])
+			w.boolean(dm[key])
+			w.boolean(orig.All[key])
+			w.boolean(s.Waypoint()) // intra-device middlebox constant
+			if ck := tb.costKey[si]; ck != "" {
+				w.str(ck)
+				w.i64(orig.Cost[ck])
+			}
+			if ln := tb.linkName[si]; ln != "" {
+				w.str(ln)
+				w.boolean(orig.Waypoint[ln])
+			}
+			if pi := tb.fromProc[si]; pi >= 0 {
+				w.str(tb.procName[pi])
+				w.boolean(orig.RouteFilter[harc.RFKey(dst.Name, tb.procName[pi])])
+			}
+			if pi := tb.toProc[si]; pi >= 0 {
+				w.str(tb.procName[pi])
+				w.boolean(orig.RouteFilter[harc.RFKey(dst.Name, tb.procName[pi])])
+			}
+			w.boolean(orig.Static[harc.StaticKey(dst.Name, key)])
+		}
+	}
+
+	return hex.EncodeToString(w.h.Sum(nil)), true
+}
+
+// problemMemo decides whether a sub-problem participates in the solve
+// cache and, if so, computes its fingerprint.
+func problemMemo(tb *tables, orig *harc.State, pr *problem, opts Options) (string, bool) {
+	if opts.Cache == nil || opts.DisableSolveCache {
+		return "", false
+	}
+	return problemFingerprint(tb, orig, pr, opts, opts.Cache.Epoch())
+}
+
+// cacheableOutcome reports whether a terminal outcome may be memoized:
+// only first-attempt Sat or deterministic Unsat results, with no
+// compression fallback recorded (the "encode"/"solve" fallback stages
+// depend on timing) and no cancellation in flight. Degraded and Unknown
+// outcomes are timing- or fault-dependent and never cached — a later
+// identical request retries them fresh.
+func cacheableOutcome(pr *problem, ctxErr error) bool {
+	if ctxErr != nil || pr.stat.Attempts != 1 || pr.stat.CompressFallback != "" {
+		return false
+	}
+	switch pr.stat.Outcome {
+	case OutcomeSolved:
+		return true
+	case OutcomeFailed:
+		return pr.stat.Status == sat.Unsat
+	}
+	return false
+}
+
+// entryFor builds the memo entry for a problem that just reached a
+// cacheable terminal outcome. For uncompressed Sat solves the model
+// extraction is captured once into a scratch state holding only this
+// problem's keys; replay then merges it with plain map copies.
+func entryFor(pr *problem) *solveEntry {
+	e := &solveEntry{stat: pr.stat}
+	e.stat.Duration = 0
+	e.stat.Reused = false
+	if pr.stat.Compressed {
+		e.realized = pr.realized
+		e.realizedChanges = pr.realizedChanges
+		e.bytes = approxStateBytes(pr.realized)
+		return e
+	}
+	if pr.stat.Outcome == OutcomeSolved {
+		e.extracted = captureExtract(pr.enc)
+		e.model = pr.enc.s.ModelPhases()
+		e.bytes += approxStateBytes(e.extracted) + int64(len(e.model))
+	}
+	e.enc = pr.enc
+	if pr.enc != nil {
+		e.bytes += pr.enc.approxBytes()
+	}
+	return e
+}
+
+// captureExtract runs the encoder's model extraction once into a scratch
+// state pre-seeded with this problem's destination and traffic-class
+// submaps.
+func captureExtract(enc *encoder) *harc.State {
+	sc := harc.NewState()
+	for _, dst := range enc.dsts {
+		sc.Dst[dst.Name] = make(map[string]bool)
+	}
+	for _, tc := range enc.tcs {
+		sc.TC[tc.Key()] = make(map[string]bool)
+	}
+	enc.extract(sc)
+	return sc
+}
+
+// applyExtracted merges a captured extraction into the shared repaired
+// state: the exact writes extract would perform, replayed as map copies.
+// Every entry is copied (including explicit false), matching extract's
+// assignment semantics; Waypoint only ever records true.
+func applyExtracted(out, sc *harc.State) {
+	for k, v := range sc.All {
+		out.All[k] = v
+	}
+	for name, m := range sc.Dst {
+		dm := out.Dst[name]
+		for k, v := range m {
+			dm[k] = v
+		}
+	}
+	for key, m := range sc.TC {
+		tm := out.TC[key]
+		for k, v := range m {
+			tm[k] = v
+		}
+	}
+	for k, v := range sc.RouteFilter {
+		out.RouteFilter[k] = v
+	}
+	for k, v := range sc.Static {
+		out.Static[k] = v
+	}
+	for k, v := range sc.Cost {
+		out.Cost[k] = v
+	}
+	for k, v := range sc.Waypoint {
+		if v {
+			out.Waypoint[k] = true
+		}
+	}
+}
+
+// approxStateBytes estimates a state's heap footprint for the retained-
+// memory gauge.
+func approxStateBytes(st *harc.State) int64 {
+	if st == nil {
+		return 0
+	}
+	var n int64
+	perEntry := func(m map[string]bool) int64 {
+		var b int64
+		for k := range m {
+			b += int64(len(k)) + 24
+		}
+		return b
+	}
+	n += perEntry(st.All) + perEntry(st.Waypoint) + perEntry(st.RouteFilter) + perEntry(st.Static)
+	for k, m := range st.Dst {
+		n += int64(len(k)) + perEntry(m)
+	}
+	for k, m := range st.TC {
+		n += int64(len(k)) + perEntry(m)
+	}
+	for k := range st.Cost {
+		n += int64(len(k)) + 24
+	}
+	return n
+}
+
+// approxBytes estimates the heap retained by a live encoder: the SAT
+// solver's arenas, the interned formula pool, and the dense variable
+// tables.
+func (e *encoder) approxBytes() int64 {
+	if e == nil {
+		return 0
+	}
+	n := e.s.ApproxBytes() + e.pool.ApproxBytes()
+	for _, r := range e.tVar {
+		n += int64(len(r)) * 8
+	}
+	for _, r := range e.dVar {
+		n += int64(len(r)) * 8
+	}
+	for _, r := range e.stVar {
+		n += int64(len(r)) * 8
+	}
+	for _, r := range e.rfVar {
+		n += int64(len(r)) * 8
+	}
+	n += int64(len(e.aVar))*8 + int64(len(e.softs))*4 + int64(len(e.weights))*8
+	return n
+}

@@ -184,6 +184,24 @@ type Options struct {
 	// PC3 K)). Values at or above the largest class size make the
 	// quotient lossless.
 	CompressRedundancy int
+	// Cache, when set, memoizes terminal sub-problem solves across Repair
+	// calls keyed by the sub-problem's full encoding fingerprint, and
+	// retains the live encoder/solver of each hit source. Hits replay
+	// results byte-identical to a fresh solve (see SolveCache). Sessions
+	// (cpr.Session, cprd) inject their per-session cache here.
+	Cache *SolveCache
+	// DisableSolveCache bypasses Cache for this call even when the
+	// session carries one (the request-level solve_cache=off escape
+	// hatch for A/B measurement).
+	DisableSolveCache bool
+	// WarmStart seeds each fresh solve's phase polarities from the last
+	// model the cache stored for the same sub-problem label, on top of
+	// the original-state phase seeding. Off by default: it can steer the
+	// solver to a different equally-minimal repair than a cold session
+	// would find, trading cross-session byte-identity for faster
+	// re-solves of invalidated destinations. Results remain verified-
+	// optimal either way.
+	WarmStart bool
 }
 
 // defaultRetryAttempts is the per-sub-problem attempt bound under
@@ -269,6 +287,11 @@ type ProblemStat struct {
 	// "verify", or "panic"; empty when compression succeeded or was not
 	// attempted).
 	CompressFallback string
+	// Reused marks a sub-problem replayed from the session solve cache
+	// instead of solved fresh; all other counters (Vars, Conflicts,
+	// Solver, ...) are the original solve's, which a fresh solve would
+	// reproduce exactly. Duration is the replay's own wall-clock.
+	Reused bool
 }
 
 // Result is the outcome of a Repair call.
@@ -302,6 +325,8 @@ type Result struct {
 	// the uncompressed path.
 	Compressed        int
 	CompressFallbacks int
+	// Reused counts sub-problems replayed from the session solve cache.
+	Reused int
 	// Duration is the wall-clock time of the Repair call; Sequential sums
 	// the individual sub-problem durations (the paper's serial baseline).
 	Duration   time.Duration
@@ -325,7 +350,11 @@ type problem struct {
 	// repair for compressed ones (concretizePatch).
 	realized        *harc.State
 	realizedChanges int
-	stat            ProblemStat
+	// cached is set when the problem was replayed from the solve cache;
+	// the serial merge applies its captured extraction instead of reading
+	// a (non-existent) fresh model.
+	cached *solveEntry
+	stat   ProblemStat
 }
 
 // dsts returns the problem's unique destination subnets.
@@ -422,12 +451,17 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 		if pr.stat.CompressFallback != "" {
 			res.CompressFallbacks++
 		}
+		if pr.stat.Reused {
+			res.Reused++
+		}
 		switch pr.stat.Outcome {
 		case OutcomeSolved:
 			res.Changes += pr.stat.Violations
 			if pr.stat.Compressed {
 				res.Compressed++
 				mergeRealized(h, orig, out, pr)
+			} else if pr.cached != nil {
+				applyExtracted(out, pr.cached.extracted)
 			} else {
 				pr.enc.extract(out)
 			}
@@ -585,7 +619,18 @@ func runFailFast(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.State
 				return // cancelled while queued; RepairCtx reports ctx.Err()
 			}
 			t0 := time.Now()
+			fp, memo := problemMemo(tb, orig, pr, opts)
+			if memo {
+				if ent := opts.Cache.lookup(fp); ent != nil {
+					ent.replay(pr)
+					pr.stat.Duration = time.Since(t0)
+					return
+				}
+			}
 			if tryCompressed(ctx, h, orig, pr, opts) {
+				if memo && cacheableOutcome(pr, ctx.Err()) {
+					opts.Cache.store(fp, entryFor(pr))
+				}
 				pr.stat.Duration = time.Since(t0)
 				return
 			}
@@ -611,6 +656,9 @@ func runFailFast(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.State
 			if status != sat.Sat {
 				pr.stat.Outcome = OutcomeFailed
 				pr.stat.Err = "status " + status.String()
+			}
+			if memo && cacheableOutcome(pr, ctx.Err()) {
+				opts.Cache.store(fp, entryFor(pr))
 			}
 		}(pr)
 	}
@@ -654,7 +702,17 @@ func solveIsolated(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.Sta
 	t0 := time.Now()
 	defer func() { pr.stat.Duration = time.Since(t0) }()
 
+	fp, memo := problemMemo(tb, orig, pr, opts)
+	if memo {
+		if ent := opts.Cache.lookup(fp); ent != nil {
+			ent.replay(pr)
+			return
+		}
+	}
 	if tryCompressed(ctx, h, orig, pr, opts) {
+		if memo && cacheableOutcome(pr, ctx.Err()) {
+			opts.Cache.store(fp, entryFor(pr))
+		}
 		return
 	}
 	budget := opts.ConflictBudget
@@ -682,12 +740,18 @@ func solveIsolated(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.Sta
 			case sat.Sat:
 				pr.stat.Outcome = OutcomeSolved
 				pr.stat.Violations = cost
+				if memo && cacheableOutcome(pr, ctx.Err()) {
+					opts.Cache.store(fp, entryFor(pr))
+				}
 				return
 			case sat.Unsat:
 				// Deterministic: no retry, and no fallback either — the
 				// greedy baseline cannot satisfy an unsatisfiable group.
 				pr.stat.Outcome = OutcomeFailed
 				pr.stat.Err = "unsatisfiable"
+				if memo && cacheableOutcome(pr, ctx.Err()) {
+					opts.Cache.store(fp, entryFor(pr))
+				}
 				return
 			}
 			// Unknown: watchdog expiry, a spurious interrupt, or budget
@@ -726,6 +790,14 @@ func solveOnce(ctx context.Context, tb *tables, orig *harc.State, pr *problem, b
 	enc = newEncoder(tb, orig, pr.tcs, pr.policies, pr.freeze, o)
 	if eerr := enc.encode(ctx); eerr != nil {
 		return enc, 0, sat.Unknown, &SolveError{Label: pr.label, Phase: "encode", Attempt: attempt, Err: eerr}
+	}
+	// Opt-in warm start: overlay the previous repair's model for this
+	// label on top of the original-state phase seeding (see
+	// Options.WarmStart for the byte-identity caveat).
+	if opts.WarmStart && opts.Cache != nil && !opts.DisableSolveCache {
+		if m := opts.Cache.priorModel(pr.label); m != nil {
+			enc.s.SeedPhases(m)
+		}
 	}
 	phase = "solve"
 	cost, status = enc.solve(ctx)

@@ -52,6 +52,17 @@ func TestRepairOracleSeeds(t *testing.T) {
 	}
 }
 
+func TestIncrementalOracleSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("incremental oracle is slow in -short mode")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		if err := CheckIncremental(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestCompressOracleSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compression oracle is slow in -short mode")
@@ -161,6 +172,17 @@ func FuzzCompress(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if err := CheckCompress(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzIncremental(f *testing.F) {
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckIncremental(seed); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -64,6 +64,9 @@ const (
 	// ServerCacheLoadError fails the session cache's build function in
 	// the daemon's /v1/load path.
 	ServerCacheLoadError = "server/cache-load-error"
+	// ServerDeltaError fails the incremental session derivation in the
+	// daemon's /v1/delta path.
+	ServerDeltaError = "server/delta-error"
 )
 
 // Sites lists every registered injection site, sorted.
@@ -75,6 +78,7 @@ func Sites() []string {
 		CoreEncodeError,
 		CoreEncodeSlow,
 		ServerCacheLoadError,
+		ServerDeltaError,
 	}
 	sort.Strings(s)
 	return s

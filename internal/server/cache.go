@@ -2,34 +2,22 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"sort"
 	"sync"
 
 	cpr "repro"
+	"repro/internal/core"
 )
 
 // SessionKey is the content hash of a configuration set: identical
 // configurations — regardless of map-label order — map to the same
 // session, which is what makes the cache and single-flight deduplication
-// sound.
+// sound. It is cpr.ContentKey, so server session IDs double as solve-
+// cache epochs.
 func SessionKey(configs map[string]string) string {
-	names := make([]string, 0, len(configs))
-	for name := range configs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	h := sha256.New()
-	for _, name := range names {
-		text := configs[name]
-		fmt.Fprintf(h, "%d:%s\x00%d:%s\x00", len(name), name, len(text), text)
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return cpr.ContentKey(configs)
 }
 
-// loadOutcome classifies how getOrLoad produced its system.
+// loadOutcome classifies how getOrLoad produced its session.
 type loadOutcome int
 
 const (
@@ -46,12 +34,15 @@ const (
 // to.
 type loadCall struct {
 	done chan struct{}
-	sys  *cpr.System
+	sess *cpr.Session
 	err  error
 }
 
-// sessionCache is an LRU cache of loaded systems keyed by SessionKey,
+// sessionCache is an LRU cache of loaded sessions keyed by SessionKey,
 // with single-flight deduplication of concurrent identical loads.
+// Sessions retain per-sub-problem encodings and SAT solvers across
+// repair calls, so eviction releases that memory (Session.Release)
+// rather than just dropping the reference.
 type sessionCache struct {
 	mu      sync.Mutex
 	max     int
@@ -61,8 +52,8 @@ type sessionCache struct {
 }
 
 type entry struct {
-	key string
-	sys *cpr.System
+	key  string
+	sess *cpr.Session
 }
 
 func newSessionCache(max int) *sessionCache {
@@ -74,8 +65,8 @@ func newSessionCache(max int) *sessionCache {
 	}
 }
 
-// get returns the cached system for key, bumping its recency.
-func (c *sessionCache) get(key string) (*cpr.System, bool) {
+// get returns the cached session for key, bumping its recency.
+func (c *sessionCache) get(key string) (*cpr.Session, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.byKey[key]
@@ -83,28 +74,37 @@ func (c *sessionCache) get(key string) (*cpr.System, bool) {
 		return nil, false
 	}
 	c.lru.MoveToFront(e)
-	return e.Value.(*entry).sys, true
+	return e.Value.(*entry).sess, true
 }
 
 // put inserts (or refreshes) a session, evicting the least recently used
 // entry beyond capacity.
-func (c *sessionCache) put(key string, sys *cpr.System) {
+func (c *sessionCache) put(key string, sess *cpr.Session) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.insertLocked(key, sys)
+	c.insertLocked(key, sess)
 }
 
-func (c *sessionCache) insertLocked(key string, sys *cpr.System) {
+func (c *sessionCache) insertLocked(key string, sess *cpr.Session) {
 	if e, ok := c.byKey[key]; ok {
-		e.Value.(*entry).sys = sys
+		// Same key means byte-identical configs; keep the cached session —
+		// its solve cache is warmer than the incoming one's.
+		if old := e.Value.(*entry); old.sess != sess {
+			sess.Release()
+		}
 		c.lru.MoveToFront(e)
 		return
 	}
-	c.byKey[key] = c.lru.PushFront(&entry{key: key, sys: sys})
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, sess: sess})
 	for c.lru.Len() > c.max {
 		last := c.lru.Back()
 		c.lru.Remove(last)
-		delete(c.byKey, last.Value.(*entry).key)
+		ev := last.Value.(*entry)
+		delete(c.byKey, ev.key)
+		// Evicted sessions may still be in use by an in-flight request;
+		// Release only drops the retained solvers, the session itself
+		// stays usable (it just re-solves).
+		ev.sess.Release()
 	}
 }
 
@@ -115,36 +115,59 @@ func (c *sessionCache) len() int {
 	return c.lru.Len()
 }
 
+// retained sums solve-cache accounting (retained entries, solvers, and
+// approximate bytes, plus hit/miss counters) across cached sessions, for
+// /statsz.
+func (c *sessionCache) retained() core.SolveCacheStats {
+	c.mu.Lock()
+	sessions := make([]*cpr.Session, 0, c.lru.Len())
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		sessions = append(sessions, e.Value.(*entry).sess)
+	}
+	c.mu.Unlock()
+	var agg core.SolveCacheStats
+	for _, s := range sessions {
+		cs := s.CacheStats()
+		agg.Entries += cs.Entries
+		agg.Solvers += cs.Solvers
+		agg.RetainedBytes += cs.RetainedBytes
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Stores += cs.Stores
+	}
+	return agg
+}
+
 // getOrLoad returns the session for key, building it with build on a
 // miss. Concurrent calls for the same key share one build: exactly one
 // caller runs build, the rest block until it finishes and receive its
 // result (including its error — a failed build is not cached, so a later
 // load retries).
-func (c *sessionCache) getOrLoad(key string, build func() (*cpr.System, error)) (*cpr.System, loadOutcome, error) {
+func (c *sessionCache) getOrLoad(key string, build func() (*cpr.Session, error)) (*cpr.Session, loadOutcome, error) {
 	c.mu.Lock()
 	if e, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(e)
-		sys := e.Value.(*entry).sys
+		sess := e.Value.(*entry).sess
 		c.mu.Unlock()
-		return sys, loadHit, nil
+		return sess, loadHit, nil
 	}
 	if call, ok := c.loading[key]; ok {
 		c.mu.Unlock()
 		<-call.done
-		return call.sys, loadCoalesced, call.err
+		return call.sess, loadCoalesced, call.err
 	}
 	call := &loadCall{done: make(chan struct{})}
 	c.loading[key] = call
 	c.mu.Unlock()
 
-	call.sys, call.err = build()
+	call.sess, call.err = build()
 
 	c.mu.Lock()
 	delete(c.loading, key)
 	if call.err == nil {
-		c.insertLocked(key, call.sys)
+		c.insertLocked(key, call.sess)
 	}
 	c.mu.Unlock()
 	close(call.done)
-	return call.sys, loadBuilt, call.err
+	return call.sess, loadBuilt, call.err
 }

@@ -8,6 +8,79 @@ import (
 	"repro/internal/faultinject"
 )
 
+// TestChaosIncrementalSessionSurvivesDeltaFaults drives the incremental
+// layer through its failpoints: an injected /v1/delta failure must
+// surface as a clean 400 without poisoning the session cache, the
+// retried delta must still replay every sub-problem from the base
+// session's forked cache, and a fault-degraded repair on the reused
+// session must never be memoized — once injection clears, the same
+// request must re-solve cleanly.
+func TestChaosIncrementalSessionSurvivesDeltaFaults(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	defer faultinject.Reset()
+
+	lr := loadFigure2a(t, ts)
+	var rr RepairResponse
+	if st := postJSON(t, ts, "/v1/repair", RepairRequest{Session: lr.Session, Policies: figure2aSpec}, &rr); st != http.StatusOK || !rr.Solved {
+		t.Fatalf("warmup repair = %d solved=%v", st, rr.Solved)
+	}
+
+	// One injected delta failure: clean 400, healthz up, nothing cached.
+	churn := map[string]string{"C": config.Figure2aConfigs()["C"] + "ip access-list extended CHURN\n permit ip any any\n!\n"}
+	if err := faultinject.Set(faultinject.ServerDeltaError, "1*error"); err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	if st := postJSON(t, ts, "/v1/delta", DeltaRequest{Session: lr.Session, Configs: churn}, &er); st != http.StatusBadRequest {
+		t.Fatalf("injected delta: status = %d, want 400", st)
+	}
+	if faultinject.FiredCount(faultinject.ServerDeltaError) != 1 {
+		t.Fatal("delta failpoint did not fire")
+	}
+	var hz Healthz
+	if st := getJSON(t, ts, "/healthz", &hz); st != http.StatusOK || !hz.OK {
+		t.Fatalf("healthz after injected delta failure = %d %+v", st, hz)
+	}
+
+	// The retry succeeds and the delta'd session replays every
+	// sub-problem — the failed build neither poisoned the session cache
+	// nor dropped the base session's warm solve cache.
+	var dr DeltaResponse
+	if st := postJSON(t, ts, "/v1/delta", DeltaRequest{Session: lr.Session, Configs: churn}, &dr); st != http.StatusOK {
+		t.Fatalf("retried delta: status = %d, want 200", st)
+	}
+	if st := postJSON(t, ts, "/v1/repair", RepairRequest{Session: dr.Session, Policies: figure2aSpec}, &rr); st != http.StatusOK || !rr.Solved {
+		t.Fatalf("post-delta repair = %d solved=%v", st, rr.Solved)
+	}
+	if rr.Reused != len(rr.Problems) {
+		t.Fatalf("post-delta repair reused %d of %d problems, want all", rr.Reused, len(rr.Problems))
+	}
+
+	// A starved solve on the reused session degrades — and the degraded
+	// output must not stick: with injection cleared the identical request
+	// re-solves cleanly instead of replaying the degraded result.
+	if err := faultinject.Set(faultinject.SATBudgetStarve, "error"); err != nil {
+		t.Fatal(err)
+	}
+	const spec = "reachable S T 2\n"
+	if st := postJSON(t, ts, "/v1/repair", RepairRequest{Session: dr.Session, Policies: spec}, &rr); st != http.StatusOK {
+		t.Fatalf("starved repair: status = %d, want 200", st)
+	}
+	if rr.Solved || rr.Degraded != 1 {
+		t.Fatalf("starved repair = solved=%v degraded=%d, want one degraded destination", rr.Solved, rr.Degraded)
+	}
+	faultinject.Reset()
+	if st := postJSON(t, ts, "/v1/repair", RepairRequest{Session: dr.Session, Policies: spec}, &rr); st != http.StatusOK || !rr.Solved || rr.Degraded != 0 {
+		t.Fatalf("post-chaos repair = %d solved=%v degraded=%d, want a clean solve (degraded output must not be memoized)",
+			st, rr.Solved, rr.Degraded)
+	}
+
+	sz := srv.stats.snapshot(srv.cache.len(), srv.cache.retained())
+	if sz.Cache.DeltaBuilds == 0 {
+		t.Errorf("statsz delta builds = 0, want at least the retried build: %+v", sz.Cache)
+	}
+}
+
 // TestChaosDaemonSurvivesInjectedFaults drives a live daemon through
 // the server-side failpoints: a cache build failure must surface as a
 // clean 400 (not a crash or a poisoned cache entry), a starved solver
@@ -78,7 +151,7 @@ func TestChaosDaemonSurvivesInjectedFaults(t *testing.T) {
 	}, &rr); st != http.StatusOK || !rr.Solved {
 		t.Fatalf("post-chaos repair = %d solved=%v, want a clean solve", st, rr.Solved)
 	}
-	sz := srv.stats.snapshot(srv.cache.len())
+	sz := srv.stats.snapshot(srv.cache.len(), srv.cache.retained())
 	if sz.Destinations.Degraded != 1 || sz.Destinations.Solved != 1 || sz.Destinations.Failed != 0 {
 		t.Errorf("statsz destinations = %+v, want solved=1 degraded=1 failed=0", sz.Destinations)
 	}

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"sync"
 	"testing"
+
+	"repro/internal/config"
 )
 
 // TestConcurrentRepairsShareOneSession hammers one cached session with
@@ -11,6 +13,59 @@ import (
 // -race, it proves the cached System/Network/HARC is read-safe to share:
 // every solve clones the HARC state and builds its own solver, so no
 // per-request work may write the shared model.
+// TestConcurrentDeltasShareOneSession fires parallel /v1/delta +
+// /v1/repair pairs at one cached base session. Run under -race, it
+// proves the incremental layer is concurrency-safe: delta'd sessions
+// share parsed configs and a forked solve cache with the base, repairs
+// on the same delta'd session race on the cache's store/lookup path,
+// and the oscillating deltas race on the session cache's single-flight
+// and LRU bookkeeping.
+func TestConcurrentDeltasShareOneSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	lr := loadFigure2a(t, ts)
+	churn := "ip access-list extended CHURN\n permit ip any any\n!\n"
+	cfgC := config.Figure2aConfigs()["C"]
+
+	const goroutines = 8
+	const perG = 3
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Alternate between two delta targets so goroutines keep
+				// hitting both cached content keys.
+				text := cfgC + churn
+				if (g+i)%2 == 0 {
+					text = cfgC
+				}
+				var dr DeltaResponse
+				if st := postJSON(t, ts, "/v1/delta", DeltaRequest{
+					Session: lr.Session,
+					Configs: map[string]string{"C": text},
+				}, &dr); st != http.StatusOK {
+					t.Errorf("g%d delta status = %d", g, st)
+					return
+				}
+				var rr RepairResponse
+				st := postJSON(t, ts, "/v1/repair", RepairRequest{Session: dr.Session, Policies: figure2aSpec}, &rr)
+				switch st {
+				case http.StatusOK:
+					if !rr.Solved {
+						t.Errorf("g%d repair unsolved", g)
+					}
+				case http.StatusTooManyRequests:
+					// Load shedding is a legitimate outcome, not a failure.
+				default:
+					t.Errorf("g%d repair status = %d", g, st)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 func TestConcurrentRepairsShareOneSession(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 4})
 	lr := loadFigure2a(t, ts)

@@ -92,6 +92,7 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/load", s.instrument("/v1/load", s.handleLoad))
+	s.mux.HandleFunc("POST /v1/delta", s.instrument("/v1/delta", s.handleDelta))
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("/v1/verify", s.handleVerify))
 	s.mux.HandleFunc("POST /v1/explain", s.instrument("/v1/explain", s.handleExplain))
 	s.mux.HandleFunc("POST /v1/repair", s.instrument("/v1/repair", s.handleRepair))
@@ -148,17 +149,17 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // session resolves a session reference, answering 404 on a miss (the
 // entry may also have been evicted — the client re-loads either way).
-func (s *Server) session(w http.ResponseWriter, key string) (*cpr.System, bool) {
+func (s *Server) session(w http.ResponseWriter, key string) (*cpr.Session, bool) {
 	if key == "" {
 		writeError(w, http.StatusBadRequest, "missing session")
 		return nil, false
 	}
-	sys, ok := s.cache.get(key)
+	sess, ok := s.cache.get(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q (expired or never loaded)", key)
 		return nil, false
 	}
-	return sys, true
+	return sess, true
 }
 
 // deadline derives the request context: client timeout_ms if given
@@ -207,24 +208,90 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := SessionKey(req.Configs)
-	sys, how, err := s.cache.getOrLoad(key, func() (*cpr.System, error) {
+	sess, how, err := s.cache.getOrLoad(key, func() (*cpr.Session, error) {
 		if err := faultinject.Eval(faultinject.ServerCacheLoadError); err != nil {
 			return nil, err
 		}
-		return cpr.Load(req.Configs)
+		return cpr.NewSession(req.Configs)
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "load: %v", err)
 		return
 	}
 	s.stats.recordLoad(how)
-	writeJSON(w, http.StatusOK, LoadResponse{
+	writeJSON(w, http.StatusOK, loadResponseFor(key, how, sess))
+}
+
+func loadResponseFor(key string, how loadOutcome, sess *cpr.Session) LoadResponse {
+	n := sess.System().Network
+	return LoadResponse{
 		Session:        key,
 		Cached:         how != loadBuilt,
-		Devices:        sys.Network.NumDevices(),
-		Subnets:        len(sys.Network.Subnets),
-		Links:          len(sys.Network.Links),
-		TrafficClasses: len(sys.Network.TrafficClasses()),
+		Devices:        n.NumDevices(),
+		Subnets:        len(n.Subnets),
+		Links:          len(n.Links),
+		TrafficClasses: len(n.TrafficClasses()),
+	}
+}
+
+// --- /v1/delta ---
+
+// DeltaRequest is the POST /v1/delta body: a config change relative to
+// an already-loaded session. Configs maps changed labels to their new
+// text; an empty string removes the label. Unchanged labels are not
+// re-sent and not re-parsed.
+type DeltaRequest struct {
+	Session string            `json:"session"`
+	Configs map[string]string `json:"configs"`
+}
+
+// DeltaResponse is the POST /v1/delta reply. Session identifies the
+// resulting config set (use it in subsequent verify/repair requests);
+// it equals what /v1/load would return for the full patched set.
+type DeltaResponse struct {
+	Session string `json:"session"`
+	// Cached reports the resulting session was already in the cache (the
+	// delta produced a previously seen config set, e.g. a revert).
+	Cached         bool `json:"cached"`
+	Devices        int  `json:"devices"`
+	Subnets        int  `json:"subnets"`
+	Links          int  `json:"links"`
+	TrafficClasses int  `json:"traffic_classes"`
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var req DeltaRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	base, ok := s.session(w, req.Session)
+	if !ok {
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "no config changes given")
+		return
+	}
+	key := base.DeltaKey(req.Configs)
+	sess, how, err := s.cache.getOrLoad(key, func() (*cpr.Session, error) {
+		if err := faultinject.Eval(faultinject.ServerDeltaError); err != nil {
+			return nil, err
+		}
+		return base.Delta(req.Configs)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "delta: %v", err)
+		return
+	}
+	s.stats.recordDelta(how)
+	lr := loadResponseFor(key, how, sess)
+	writeJSON(w, http.StatusOK, DeltaResponse{
+		Session:        lr.Session,
+		Cached:         lr.Cached,
+		Devices:        lr.Devices,
+		Subnets:        lr.Subnets,
+		Links:          lr.Links,
+		TrafficClasses: lr.TrafficClasses,
 	})
 }
 
@@ -264,10 +331,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	sys, ok := s.session(w, req.Session)
+	sess, ok := s.session(w, req.Session)
 	if !ok {
 		return
 	}
+	sys := sess.System()
 	policies, ok := parsePolicies(w, sys, req.Policies)
 	if !ok {
 		return
@@ -297,10 +365,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	sys, ok := s.session(w, req.Session)
+	sess, ok := s.session(w, req.Session)
 	if !ok {
 		return
 	}
+	sys := sess.System()
 	policies, ok := parsePolicies(w, sys, req.Policies)
 	if !ok {
 		return
@@ -351,6 +420,10 @@ type RepairProblem struct {
 	// symmetry-compressed quotient network and the concretized patch
 	// re-verified on the full network.
 	Compressed bool `json:"compressed,omitempty"`
+	// Reused reports that the sub-problem's result was replayed from the
+	// session's solve cache instead of re-solved; the solver counters are
+	// the original solve's, which a fresh solve would reproduce.
+	Reused bool `json:"reused,omitempty"`
 	// QuotientDevices/DeviceClasses/CompressRatio describe the quotient
 	// when Compressed is set; CompressFallback names the stage at which
 	// compression was abandoned for this sub-problem, when it was tried
@@ -379,9 +452,11 @@ type RepairResponse struct {
 	// Compressed counts sub-problems solved on symmetry-compressed
 	// quotients; CompressFallbacks counts sub-problems where compression
 	// was attempted but fell back to the uncompressed path.
-	Compressed        int             `json:"compressed,omitempty"`
-	CompressFallbacks int             `json:"compress_fallbacks,omitempty"`
-	Problems          []RepairProblem `json:"problems"`
+	Compressed        int `json:"compressed,omitempty"`
+	CompressFallbacks int `json:"compress_fallbacks,omitempty"`
+	// Reused counts sub-problems replayed from the session's solve cache.
+	Reused   int             `json:"reused,omitempty"`
+	Problems []RepairProblem `json:"problems"`
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
@@ -389,11 +464,11 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	sys, ok := s.session(w, req.Session)
+	sess, ok := s.session(w, req.Session)
 	if !ok {
 		return
 	}
-	policies, ok := parsePolicies(w, sys, req.Policies)
+	policies, ok := parsePolicies(w, sess.System(), req.Policies)
 	if !ok {
 		return
 	}
@@ -411,7 +486,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	)
 	perr := s.pool.do(ctx, func() {
 		s.stats.solveStarted()
-		out, rerr = sys.RepairCtx(ctx, policies, opts)
+		out, rerr = sess.RepairCtx(ctx, policies, opts)
 		cancelled := rerr != nil && (errors.Is(rerr, context.DeadlineExceeded) || errors.Is(rerr, context.Canceled))
 		var conflicts int64
 		var solver sat.Stats
@@ -456,6 +531,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		PatchedConfigs:    out.PatchedConfigs,
 		Compressed:        out.Result.Compressed,
 		CompressFallbacks: out.Result.CompressFallbacks,
+		Reused:            out.Result.Reused,
 		Problems:          make([]RepairProblem, 0, len(out.Result.Stats)),
 	}
 	if out.Plan != nil {
@@ -483,13 +559,14 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			DurationMS: float64(st.Duration) / float64(time.Millisecond),
 
 			Compressed:       st.Compressed,
+			Reused:           st.Reused,
 			QuotientDevices:  st.QuotientDevices,
 			DeviceClasses:    st.DeviceClasses,
 			CompressRatio:    st.CompressRatio,
 			CompressFallback: st.CompressFallback,
 		})
 	}
-	s.stats.recordOutcomes(solvedProblems, out.Result.Degraded, out.Result.Failed)
+	s.stats.recordOutcomes(solvedProblems, out.Result.Degraded, out.Result.Failed, out.Result.Reused)
 	s.stats.recordCompression(out.Result.Compressed, out.Result.CompressFallbacks)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -507,5 +584,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len()))
+	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), s.cache.retained()))
 }

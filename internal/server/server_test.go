@@ -165,11 +165,11 @@ func TestSingleFlight(t *testing.T) {
 	builds := 0
 	arrived := make(chan struct{})
 	release := make(chan struct{})
-	build := func() (*cpr.System, error) {
+	build := func() (*cpr.Session, error) {
 		builds++
 		close(arrived)
 		<-release
-		return cpr.Load(config.Figure2aConfigs())
+		return cpr.NewSession(config.Figure2aConfigs())
 	}
 
 	var wg sync.WaitGroup
@@ -188,7 +188,7 @@ func TestSingleFlight(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, how, err := c.getOrLoad("k", func() (*cpr.System, error) {
+		_, how, err := c.getOrLoad("k", func() (*cpr.Session, error) {
 			t.Error("second build ran despite in-flight identical load")
 			return nil, nil
 		})
@@ -222,14 +222,14 @@ func TestSingleFlight(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := newSessionCache(2)
-	sys, err := cpr.Load(config.Figure2aConfigs())
+	sess, err := cpr.NewSession(config.Figure2aConfigs())
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.put("a", sys)
-	c.put("b", sys)
+	c.put("a", sess)
+	c.put("b", sess)
 	c.get("a") // bump a: b is now least recently used
-	c.put("c", sys)
+	c.put("c", sess)
 	if _, ok := c.get("b"); ok {
 		t.Error("b not evicted")
 	}
@@ -238,6 +238,54 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestEvictionReleasesRetainedSolvers: under MaxSessions pressure the
+// LRU must not leak the evicted session's retained encodings and
+// solvers — eviction calls Release, and the /statsz Retained gauges
+// reflect only the sessions still cached.
+func TestEvictionReleasesRetainedSolvers(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxSessions: 1})
+	lr := loadFigure2a(t, ts)
+
+	var rr RepairResponse
+	if st := postJSON(t, ts, "/v1/repair", RepairRequest{Session: lr.Session, Policies: figure2aSpec}, &rr); st != http.StatusOK {
+		t.Fatalf("repair status = %d", st)
+	}
+	sess, ok := srv.cache.get(lr.Session)
+	if !ok {
+		t.Fatal("session not cached")
+	}
+	if cs := sess.CacheStats(); cs.Solvers == 0 || cs.RetainedBytes == 0 {
+		t.Fatalf("repair retained nothing: %+v", cs)
+	}
+	before := srv.stats.snapshot(srv.cache.len(), srv.cache.retained())
+	if before.Retained.Solvers == 0 || before.Retained.Bytes == 0 {
+		t.Fatalf("statsz shows no retained memory before eviction: %+v", before.Retained)
+	}
+
+	// Loading a different network with MaxSessions=1 evicts the first
+	// session, which must release its solvers even though callers may
+	// still hold the session handle.
+	other := config.Figure2aConfigs()
+	other["C"] += "ip access-list extended CHURN\n permit ip any any\n!\n"
+	var lr2 LoadResponse
+	if st := postJSON(t, ts, "/v1/load", LoadRequest{Configs: other}, &lr2); st != http.StatusOK {
+		t.Fatalf("second load status = %d", st)
+	}
+	if _, ok := srv.cache.get(lr.Session); ok {
+		t.Fatal("first session not evicted")
+	}
+	if cs := sess.CacheStats(); cs.Entries != 0 || cs.Solvers != 0 || cs.RetainedBytes != 0 {
+		t.Fatalf("eviction left retained state on the evicted session: %+v", cs)
+	}
+	after := srv.stats.snapshot(srv.cache.len(), srv.cache.retained())
+	if after.Retained.Solvers != 0 || after.Retained.Bytes != 0 || after.Retained.Entries != 0 {
+		t.Fatalf("statsz still counts evicted session's memory: %+v", after.Retained)
+	}
+	if after.SessionsCached != 1 {
+		t.Fatalf("sessions cached = %d, want 1", after.SessionsCached)
 	}
 }
 
@@ -291,7 +339,7 @@ func TestRepairDeadlineCancelsSolver(t *testing.T) {
 	// The solve is recorded as cancelled, not still running.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		sz := srv.stats.snapshot(srv.cache.len())
+		sz := srv.stats.snapshot(srv.cache.len(), srv.cache.retained())
 		if sz.Solves.InFlight == 0 && sz.Solves.Cancelled == 1 {
 			if sz.Solves.Completed != 0 {
 				t.Errorf("completed = %d, want 0", sz.Solves.Completed)
@@ -327,7 +375,7 @@ func TestRepairSheds429WhenSaturated(t *testing.T) {
 	if st != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", st)
 	}
-	sz := srv.stats.snapshot(srv.cache.len())
+	sz := srv.stats.snapshot(srv.cache.len(), srv.cache.retained())
 	if sz.Solves.Rejected != 1 {
 		t.Errorf("rejected = %d, want 1", sz.Solves.Rejected)
 	}

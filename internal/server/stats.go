@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/smt/sat"
 )
 
@@ -48,6 +49,13 @@ type stats struct {
 	cacheHits      int64 // loads answered from the session cache
 	loadsCoalesced int64 // loads deduplicated onto an in-flight build
 
+	// Config deltas (/v1/delta): incremental sessions derived from a
+	// cached base, answered from the cache, or coalesced onto an
+	// in-flight identical delta.
+	deltasBuilt     int64
+	deltaHits       int64
+	deltasCoalesced int64
+
 	// Solves (repair requests admitted to the worker pool).
 	solvesInFlight  int
 	solvesCompleted int64
@@ -57,10 +65,12 @@ type stats struct {
 	solver          sat.Stats // aggregate solver counters across completed solves
 
 	// Per-destination sub-problem outcomes under fault isolation,
-	// summed across completed solves.
+	// summed across completed solves. dstReused counts sub-problems
+	// replayed from a session's solve cache instead of re-solved.
 	dstSolved   int64
 	dstDegraded int64
 	dstFailed   int64
+	dstReused   int64
 
 	// Symmetry compression, summed across completed solves: sub-problems
 	// solved on quotient networks and sub-problems that tried compression
@@ -133,12 +143,27 @@ func (st *stats) solveRejected() {
 }
 
 // recordOutcomes accumulates one repair's per-destination dispositions.
-func (st *stats) recordOutcomes(solved, degraded, failed int) {
+func (st *stats) recordOutcomes(solved, degraded, failed, reused int) {
 	st.mu.Lock()
 	st.dstSolved += int64(solved)
 	st.dstDegraded += int64(degraded)
 	st.dstFailed += int64(failed)
+	st.dstReused += int64(reused)
 	st.mu.Unlock()
+}
+
+// recordDelta accumulates one /v1/delta call's cache disposition.
+func (st *stats) recordDelta(how loadOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch how {
+	case loadBuilt:
+		st.deltasBuilt++
+	case loadHit:
+		st.deltaHits++
+	case loadCoalesced:
+		st.deltasCoalesced++
+	}
 }
 
 // recordCompression accumulates one repair's symmetry-compression
@@ -205,7 +230,24 @@ type Statsz struct {
 		Builds    int64 `json:"builds"`
 		Hits      int64 `json:"hits"`
 		Coalesced int64 `json:"coalesced"`
+		// Delta* are the same dispositions for /v1/delta: incremental
+		// sessions built from a cached base vs. answered from the cache.
+		DeltaBuilds    int64 `json:"delta_builds"`
+		DeltaHits      int64 `json:"delta_hits"`
+		DeltaCoalesced int64 `json:"delta_coalesced"`
 	} `json:"cache"`
+	// Retained is the solve-cache footprint summed across cached
+	// sessions: per-sub-problem entries, live SAT solvers, and their
+	// approximate retained bytes, plus replay hit/miss counters. This is
+	// the memory LRU eviction releases (see sessionCache.insertLocked).
+	Retained struct {
+		Entries     int    `json:"entries"`
+		Solvers     int    `json:"solvers"`
+		Bytes       int64  `json:"bytes"`
+		SolveHits   uint64 `json:"solve_hits"`
+		SolveMisses uint64 `json:"solve_misses"`
+		SolveStores uint64 `json:"solve_stores"`
+	} `json:"retained"`
 	Solves struct {
 		InFlight  int   `json:"in_flight"`
 		Completed int64 `json:"completed"`
@@ -230,6 +272,9 @@ type Statsz struct {
 		Solved   int64 `json:"solved"`
 		Degraded int64 `json:"degraded"`
 		Failed   int64 `json:"failed"`
+		// Reused counts sub-problems replayed from a session's solve
+		// cache instead of re-solved.
+		Reused int64 `json:"reused"`
 		// Compressed counts sub-problems solved on symmetry-compressed
 		// quotient networks; CompressFallbacks counts sub-problems where
 		// compression was attempted but abandoned.
@@ -239,7 +284,7 @@ type Statsz struct {
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
-func (st *stats) snapshot(sessions int) Statsz {
+func (st *stats) snapshot(sessions int, retained core.SolveCacheStats) Statsz {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	var out Statsz
@@ -248,6 +293,15 @@ func (st *stats) snapshot(sessions int) Statsz {
 	out.Cache.Builds = st.loadsBuilt
 	out.Cache.Hits = st.cacheHits
 	out.Cache.Coalesced = st.loadsCoalesced
+	out.Cache.DeltaBuilds = st.deltasBuilt
+	out.Cache.DeltaHits = st.deltaHits
+	out.Cache.DeltaCoalesced = st.deltasCoalesced
+	out.Retained.Entries = retained.Entries
+	out.Retained.Solvers = retained.Solvers
+	out.Retained.Bytes = retained.RetainedBytes
+	out.Retained.SolveHits = retained.Hits
+	out.Retained.SolveMisses = retained.Misses
+	out.Retained.SolveStores = retained.Stores
 	out.Solves.InFlight = st.solvesInFlight
 	out.Solves.Completed = st.solvesCompleted
 	out.Solves.Cancelled = st.solvesCancelled
@@ -263,6 +317,7 @@ func (st *stats) snapshot(sessions int) Statsz {
 	out.Destinations.Solved = st.dstSolved
 	out.Destinations.Degraded = st.dstDegraded
 	out.Destinations.Failed = st.dstFailed
+	out.Destinations.Reused = st.dstReused
 	out.Destinations.Compressed = st.dstCompressed
 	out.Destinations.CompressFallbacks = st.dstCompressFallbacks
 	out.Endpoints = make(map[string]EndpointStats, len(st.endpoints))

@@ -65,6 +65,23 @@ func NewPool() *Pool {
 // Size returns the number of interned nodes.
 func (p *Pool) Size() int { return len(p.nodes) }
 
+// ApproxBytes estimates the heap retained by the pool: every interned
+// node plus the hash-cons index structures. Used for /statsz memory
+// accounting of encodings persisted across incremental-repair calls.
+func (p *Pool) ApproxBytes() int64 {
+	const nodeSize = 64 // *F header + op/name/kids/pool/id fields
+	n := int64(cap(p.nodes)) * 8
+	for _, f := range p.nodes {
+		n += nodeSize + int64(len(f.name)) + int64(cap(f.kids))*8
+	}
+	// map overhead: roughly one bucket slot (key + pointer) per entry.
+	n += int64(len(p.byName)) * 40
+	for _, bucket := range p.buckets {
+		n += 16 + int64(cap(bucket))*8
+	}
+	return n
+}
+
 // Var returns the pool's variable node for name, interning on first use.
 func (p *Pool) Var(name string) *F {
 	if f, ok := p.byName[name]; ok {

@@ -195,6 +195,58 @@ func (s *Solver) SeedPhasesFromModel() {
 	}
 }
 
+// ModelPhases returns the last satisfying assignment as a polarity
+// vector indexed by variable, for cross-solver warm starts: a retained
+// session solver's model can seed a freshly built solver for the same
+// sub-problem via SeedPhases. Returns nil when no model is available.
+func (s *Solver) ModelPhases() []bool {
+	if len(s.model) == 0 {
+		return nil
+	}
+	out := make([]bool, len(s.model))
+	for v := range s.model {
+		out[v] = s.model[v] == lTrue
+	}
+	return out
+}
+
+// SeedPhases overlays an externally captured polarity vector (see
+// ModelPhases) onto the saved phases, index-aligned and truncated to
+// the shorter of the two. The counterpart of SeedPhasesFromModel for
+// models that came from a different solver instance.
+func (s *Solver) SeedPhases(vals []bool) {
+	n := len(vals)
+	if n > len(s.phase) {
+		n = len(s.phase)
+	}
+	copy(s.phase[:n], vals[:n])
+}
+
+// ApproxBytes estimates the heap retained by the solver: the clause
+// arena, watch and binary-implication lists, and every per-variable
+// array. Session caches report this per retained solver in /statsz so
+// long-lived incremental sessions have observable memory accounting.
+func (s *Solver) ApproxBytes() int64 {
+	n := int64(cap(s.arena)+cap(s.clauses)+cap(s.learnts)+cap(s.reduceBuf)) * 4
+	for _, b := range s.bins {
+		n += int64(cap(b)) * 4
+	}
+	n += int64(cap(s.bins)) * 24
+	for _, w := range s.watches {
+		n += int64(cap(w)) * 8
+	}
+	n += int64(cap(s.watches)) * 24
+	n += int64(cap(s.assigns) + cap(s.phase) + cap(s.seen))         // byte-sized
+	n += int64(cap(s.level)+cap(s.reason)) * 4                      // 32-bit
+	n += int64(cap(s.trail)+cap(s.trailLim)+cap(s.model)) * 4       // 32-bit
+	n += int64(cap(s.activity)+cap(s.lbdStamp)+cap(s.litStamp)) * 8 // 64-bit
+	n += int64(cap(s.addBuf)+cap(s.learnedBuf)+cap(s.clearBuf)+cap(s.assumptions)+cap(s.core)) * 4
+	if s.order != nil {
+		n += s.order.approxBytes()
+	}
+	return n
+}
+
 // SetMaxLearned overrides the live learned-clause count that triggers
 // the next reduceDB pass (default 4000). Exposed so stress tests can
 // force reductions and arena GCs on small instances.

@@ -10,6 +10,11 @@ type varHeap struct {
 
 func newVarHeap() *varHeap { return &varHeap{} }
 
+// approxBytes estimates the heap's retained memory for ApproxBytes.
+func (h *varHeap) approxBytes() int64 {
+	return int64(cap(h.heap))*4 + int64(cap(h.pos))*4
+}
+
 func (h *varHeap) ensure(v Var) {
 	if int(v) < len(h.pos) {
 		return

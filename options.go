@@ -44,6 +44,16 @@ type OptionFlags struct {
 	// CompressRedundancy overrides the representative members kept per
 	// role-equivalence class (0 = derive from the problem's policies).
 	CompressRedundancy int `json:"compress_redundancy,omitempty"`
+	// SolveCache is "on" (default) or "off": per-sub-problem result
+	// replay from the session's solve cache on repeat repairs (only
+	// effective through a Session; plain System repairs have no cache).
+	SolveCache string `json:"solve_cache,omitempty"`
+	// WarmStart seeds each fresh solve's phase polarities from the
+	// previous repair's model for the same sub-problem. Off by default:
+	// it can steer the solver to a different (equally optimal) repair
+	// than a cold solve would find, trading the cross-call byte-identity
+	// guarantee for speed on near-miss churn.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // Resolve converts the string-level flags into engine Options, rejecting
@@ -115,5 +125,14 @@ func (f OptionFlags) Resolve() (Options, error) {
 		return opts, fmt.Errorf("negative compress redundancy %d", f.CompressRedundancy)
 	}
 	opts.CompressRedundancy = f.CompressRedundancy
+	switch f.SolveCache {
+	case "", "on":
+		opts.DisableSolveCache = false
+	case "off":
+		opts.DisableSolveCache = true
+	default:
+		return opts, fmt.Errorf("unknown solve_cache %q (want on or off)", f.SolveCache)
+	}
+	opts.WarmStart = f.WarmStart
 	return opts, nil
 }
