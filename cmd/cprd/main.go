@@ -15,6 +15,7 @@
 //	POST /v1/explain  counterexamples for violated policies
 //	POST /v1/repair   minimal repair (worker pool; 429 when saturated)
 //	GET  /healthz     liveness
+//	GET  /readyz      drain-aware readiness (503 once shutdown begins)
 //	GET  /statsz      cache/solver/latency/retained-memory statistics
 //
 // Sessions are incremental: each cached session retains its solved
@@ -58,6 +59,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 		maxTO    = flag.Duration("max-timeout", 30*time.Minute, "cap on client-requested deadlines")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain period")
+		notice   = flag.Duration("drain-notice", 0, "after flipping /readyz to 503, keep accepting this long so balancers observe the drain (set to ≥2× the balancer probe interval)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
@@ -71,13 +73,13 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*listen, *sessions, *workers, *queue, *timeout, *maxTO, *drain); err != nil {
+	if err := run(*listen, *sessions, *workers, *queue, *timeout, *maxTO, *drain, *notice); err != nil {
 		fmt.Fprintln(os.Stderr, "cprd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, sessions, workers, queue int, timeout, maxTO, drain time.Duration) error {
+func run(listen string, sessions, workers, queue int, timeout, maxTO, drain, notice time.Duration) error {
 	// Chaos testing: CPR_FAILPOINTS arms failpoints in the solver,
 	// encoder, and session cache (see internal/faultinject). Unset in
 	// production, this is a no-op.
@@ -113,6 +115,14 @@ func run(listen string, sessions, workers, queue int, timeout, maxTO, drain time
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	// Flip /readyz to 503 first, then (optionally) keep the listener open
+	// for a notice period: a balancer probing readiness re-routes new work
+	// before the port actually stops accepting.
+	srv.BeginDrain()
+	if notice > 0 {
+		log.Printf("cprd drain notice: /readyz now 503, accepting for another %v", notice)
+		time.Sleep(notice)
 	}
 	log.Printf("cprd draining (up to %v)", drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)

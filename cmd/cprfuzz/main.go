@@ -1,7 +1,8 @@
 // Command cprfuzz drives randomized differential-testing campaigns over
 // the crosscheck oracles: the CDCL SAT engine versus brute force, the
-// MaxSAT optimizers versus exhaustive optima, and end-to-end repair
-// versus hop-by-hop simulation.
+// MaxSAT optimizers versus exhaustive optima, end-to-end repair versus
+// hop-by-hop simulation, and the sharded cprd fleet (with an injected
+// mid-repair replica crash) versus a single node.
 //
 //	cprfuzz -seed 1 -n 200              # 200 iterations of every oracle
 //	cprfuzz -oracle sat -duration 30s   # time-boxed SAT-only campaign
@@ -36,6 +37,7 @@ var oracles = []oracle{
 	{"repair", crosscheck.CheckRepair},
 	{"compress", crosscheck.CheckCompress},
 	{"incremental", crosscheck.CheckIncremental},
+	{"fleet", crosscheck.CheckFleet},
 }
 
 func main() {
@@ -43,7 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed; iteration i uses seed+i")
 		n        = flag.Int("n", 100, "iterations per oracle")
 		duration = flag.Duration("duration", 0, "time budget (overrides -n when set)")
-		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, arenagc, repair, compress, or incremental")
+		which    = flag.String("oracle", "all", "oracle to run: all, sat, maxsat, arenagc, repair, compress, incremental, or fleet")
 		outDir   = flag.String("out", "", "directory for reproducer artifacts (default: a fresh temp dir)")
 	)
 	flag.Parse()
@@ -55,7 +57,7 @@ func main() {
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, arenagc, repair, compress, or incremental)\n", *which)
+		fmt.Fprintf(os.Stderr, "cprfuzz: unknown oracle %q (want all, sat, maxsat, arenagc, repair, compress, incremental, or fleet)\n", *which)
 		os.Exit(2)
 	}
 

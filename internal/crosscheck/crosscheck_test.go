@@ -187,3 +187,14 @@ func FuzzIncremental(f *testing.F) {
 		}
 	})
 }
+
+func TestFleetOracleSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet oracle is slow in -short mode")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := CheckFleet(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

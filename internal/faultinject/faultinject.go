@@ -67,6 +67,12 @@ const (
 	// ServerDeltaError fails the incremental session derivation in the
 	// daemon's /v1/delta path.
 	ServerDeltaError = "server/delta-error"
+	// ServerRepairAbort aborts the HTTP connection at the top of the
+	// daemon's /v1/repair handler (the response is never written and the
+	// client sees a transport error), modelling a replica crashing
+	// mid-request. The fleet front tier's failover path is exercised
+	// against exactly this site.
+	ServerRepairAbort = "server/repair-abort"
 )
 
 // Sites lists every registered injection site, sorted.
@@ -79,6 +85,7 @@ func Sites() []string {
 		CoreEncodeSlow,
 		ServerCacheLoadError,
 		ServerDeltaError,
+		ServerRepairAbort,
 	}
 	sort.Strings(s)
 	return s

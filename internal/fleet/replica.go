@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// replicaState is a worker replica's routing eligibility as seen by the
+// front tier.
+type replicaState int32
+
+const (
+	// stateReady: readiness probes pass; eligible for all requests.
+	stateReady replicaState = iota
+	// stateDraining: alive but /readyz answers 503 (SIGTERM drain begun,
+	// or an operator marked it for scale-down). It keeps serving
+	// session-scoped queries until its lease expires — it holds warm
+	// sessions and in-flight work — but receives no new sessions.
+	stateDraining
+	// stateDown: probes or forwards fail at the transport level; excluded
+	// from routing entirely until a probe succeeds again.
+	stateDown
+)
+
+func (s replicaState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// replica is one cprd worker as tracked by the front tier: its base URL,
+// probed state, and the time-boxed lease backing its ring ownership.
+type replica struct {
+	name string // base URL, e.g. http://10.0.0.7:8080
+
+	mu         sync.Mutex
+	state      replicaState
+	leaseUntil time.Time
+	lastErr    string
+	// opDrain pins the replica in draining from the operator side
+	// (scale-down): probes may still pass, but the lease must run out.
+	opDrain bool
+
+	// Routing counters (atomic: bumped on the forward path).
+	forwards atomic.Int64
+	failures atomic.Int64
+}
+
+// eligible reports whether the replica may receive a request of the
+// given kind at time now. Ownership is lease-backed: once the lease
+// expires un-renewed — the replica is down, draining, or partitioned —
+// the ring successor takes over even if the replica later answers, which
+// is what guarantees progress across scale-down and crashes.
+func (rep *replica) eligible(kind requestKind, now time.Time) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.state == stateDown || now.After(rep.leaseUntil) {
+		return false
+	}
+	// Draining replicas finish what they hold but take no new sessions.
+	if rep.state == stateDraining && kind == kindCreate {
+		return false
+	}
+	return true
+}
+
+// observeProbe folds one readiness-probe result into the replica state.
+// Only a passing probe renews the lease; draining and down replicas let
+// it run out, which is the forced-takeover clock.
+func (rep *replica) observeProbe(ready bool, draining bool, err error, leaseTTL time.Duration, now time.Time) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	switch {
+	case err != nil:
+		rep.state = stateDown
+		rep.lastErr = err.Error()
+	case draining || !ready || rep.opDrain:
+		// An operator-initiated drain (markDraining) and a replica-side
+		// drain (readyz 503) look the same: stop renewing.
+		if rep.state != stateDraining {
+			rep.state = stateDraining
+			rep.lastErr = ""
+		}
+	default:
+		rep.state = stateReady
+		rep.leaseUntil = now.Add(leaseTTL)
+		rep.lastErr = ""
+	}
+}
+
+// markDown records a transport-level forward failure: fail fast instead
+// of waiting for the next probe. A later passing probe resurrects the
+// replica.
+func (rep *replica) markDown(err error) {
+	rep.failures.Add(1)
+	rep.mu.Lock()
+	rep.state = stateDown
+	rep.lastErr = err.Error()
+	rep.mu.Unlock()
+}
+
+// status snapshots the replica for /fleetz.
+func (rep *replica) status(now time.Time) ReplicaStatus {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	leaseMS := rep.leaseUntil.Sub(now).Seconds() * 1000
+	if leaseMS < 0 {
+		leaseMS = 0
+	}
+	return ReplicaStatus{
+		Name:        rep.name,
+		State:       rep.state.String(),
+		LeaseValid:  !now.After(rep.leaseUntil),
+		LeaseLeftMS: leaseMS,
+		Forwards:    rep.forwards.Load(),
+		Failures:    rep.failures.Load(),
+		LastError:   rep.lastErr,
+	}
+}
+
+// probe issues one readiness probe against the replica. The tri-state
+// result mirrors cprd's /readyz: (ready), (alive but draining), or an
+// error for anything transport-level or unexpected.
+func probeReplica(client *http.Client, name string) (ready, draining bool, err error) {
+	resp, err := client.Get(name + "/readyz")
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	var rz struct {
+		Ready    bool `json:"ready"`
+		Draining bool `json:"draining"`
+	}
+	// A 503 with a draining body is a healthy drain; anything else
+	// non-200 is treated as down.
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		return false, false, fmt.Errorf("readyz: bad body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return rz.Ready, false, nil
+	case http.StatusServiceUnavailable:
+		if rz.Draining {
+			return false, true, nil
+		}
+		return false, false, fmt.Errorf("readyz: not ready")
+	default:
+		return false, false, fmt.Errorf("readyz: status %d", resp.StatusCode)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -73,30 +74,84 @@ func TestRetryAfterSecondsDerivation(t *testing.T) {
 	st := newStats()
 
 	// No observations yet: the 1s default applies. One queued request on
-	// one worker → 2 waves of ~1s each... but the hint is for when one
-	// slot frees: ceil((1+1)*1000/1/1000) = 2.
-	if got := st.retryAfterSeconds(1, 1); got != 2 {
-		t.Errorf("empty histogram, waiting=1 workers=1: retry = %d, want 2", got)
+	// one worker → ~2s before a slot frees; ±20% jitter keeps the hint in
+	// ceil([1600ms, 2400ms]) = [2, 3].
+	if got := st.retryAfterSeconds(1, 1, "k"); got < 2 || got > 3 {
+		t.Errorf("empty histogram, waiting=1 workers=1: retry = %d, want 2..3", got)
 	}
 	// Fast solves observed: p50 collapses to the lowest bucket and the
-	// hint clamps at the 1-second floor.
+	// hint clamps at the 1-second floor regardless of jitter.
 	for i := 0; i < 10; i++ {
 		st.observeLatency("/v1/repair", 500*time.Microsecond)
 	}
-	if got := st.retryAfterSeconds(4, 2); got != 1 {
+	if got := st.retryAfterSeconds(4, 2, "k"); got != 1 {
 		t.Errorf("fast p50: retry = %d, want the 1s floor", got)
 	}
 	// Slow solves dominate: p50 lands in the 5000ms bucket; deep queue on
-	// one worker must clamp at the 30s ceiling.
+	// one worker must clamp at the 30s ceiling regardless of jitter.
 	for i := 0; i < 30; i++ {
 		st.observeLatency("/v1/repair", 4*time.Second)
 	}
-	if got := st.retryAfterSeconds(20, 1); got != 30 {
+	if got := st.retryAfterSeconds(20, 1, "k"); got != 30 {
 		t.Errorf("slow p50, deep queue: retry = %d, want the 30s ceiling", got)
 	}
-	// Midrange: p50 5000ms, 1 waiting, 4 workers → ceil(2*5000/4/1000) = 3.
-	if got := st.retryAfterSeconds(1, 4); got != 3 {
-		t.Errorf("midrange: retry = %d, want 3", got)
+	// Midrange: p50 5000ms, 1 waiting, 4 workers → 2500ms ±20% → [2, 3].
+	if got := st.retryAfterSeconds(1, 4, "k"); got < 2 || got > 3 {
+		t.Errorf("midrange: retry = %d, want 2..3", got)
+	}
+}
+
+func TestRetryAfterJitterDeterministicAndSpread(t *testing.T) {
+	// Same key → same factor, always inside the ±20% band.
+	for _, key := range []string{"", "a", "session-abc123"} {
+		f1, f2 := retryJitter(key), retryJitter(key)
+		if f1 != f2 {
+			t.Errorf("retryJitter(%q) not deterministic: %v vs %v", key, f1, f2)
+		}
+		if f1 < 0.8 || f1 > 1.2 {
+			t.Errorf("retryJitter(%q) = %v, want within [0.8, 1.2]", key, f1)
+		}
+	}
+	// Distinct keys must actually spread: over many keys the factors
+	// cover a good part of the band, so synchronized clients desync.
+	lo, hi := 2.0, 0.0
+	for i := 0; i < 200; i++ {
+		f := retryJitter(fmt.Sprintf("session-%d", i))
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi-lo < 0.2 {
+		t.Errorf("jitter spread over 200 keys = [%v, %v], want a spread of at least 0.2", lo, hi)
+	}
+}
+
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	var rz Readyz
+	if st := getJSON(t, ts, "/readyz", &rz); st != http.StatusOK || !rz.Ready {
+		t.Fatalf("before drain: readyz = %d %+v, want 200 ready", st, rz)
+	}
+
+	srv.BeginDrain()
+	if st := getJSON(t, ts, "/readyz", &rz); st != http.StatusServiceUnavailable || rz.Ready || !rz.Draining {
+		t.Fatalf("after drain: readyz = %d %+v, want 503 draining", st, rz)
+	}
+	// Liveness is unaffected: the process is healthy, just not accepting
+	// new work.
+	var hz Healthz
+	if st := getJSON(t, ts, "/healthz", &hz); st != http.StatusOK || !hz.OK {
+		t.Fatalf("after drain: healthz = %d %+v, want 200 ok", st, hz)
+	}
+	// Draining is advisory — a request that still arrives is served.
+	lr := loadFigure2a(t, ts)
+	var vr VerifyResponse
+	if st := postJSON(t, ts, "/v1/verify", VerifyRequest{Session: lr.Session, Policies: figure2aSpec}, &vr); st != http.StatusOK {
+		t.Fatalf("verify while draining: status = %d, want 200", st)
 	}
 }
 

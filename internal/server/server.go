@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	cpr "repro"
@@ -79,6 +80,11 @@ type Server struct {
 	pool  *workerPool
 	stats *stats
 	mux   *http.ServeMux
+
+	// draining flips /readyz to 503 as soon as graceful shutdown begins,
+	// so load balancers and the fleet front tier stop routing new work
+	// here while in-flight requests finish.
+	draining atomic.Bool
 }
 
 // New builds a Server with the given configuration.
@@ -97,6 +103,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/explain", s.instrument("/v1/explain", s.handleExplain))
 	s.mux.HandleFunc("POST /v1/repair", s.instrument("/v1/repair", s.handleRepair))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
 }
@@ -460,6 +467,12 @@ type RepairResponse struct {
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	// Chaos: model this replica crashing mid-request. Aborting the
+	// handler tears down the connection without a response, which is what
+	// a killed process looks like to the caller.
+	if err := faultinject.Eval(faultinject.ServerRepairAbort); err != nil {
+		panic(http.ErrAbortHandler)
+	}
 	var req RepairRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -500,8 +513,9 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(perr, errSaturated) {
 			s.stats.solveRejected()
 			// Hint when a slot should actually free up: queue depth times
-			// the median solve latency, spread across the workers.
-			retry := s.stats.retryAfterSeconds(s.pool.waiting(), s.cfg.Workers)
+			// the median solve latency, spread across the workers, with
+			// per-key jitter so shed clients don't retry in lockstep.
+			retry := s.stats.retryAfterSeconds(s.pool.waiting(), s.cfg.Workers, req.Session)
 			w.Header().Set("Retry-After", strconv.Itoa(retry))
 			writeError(w, http.StatusTooManyRequests, "repair queue full (workers=%d queue=%d)", s.cfg.Workers, s.cfg.QueueDepth)
 			return
@@ -582,6 +596,31 @@ type Healthz struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, Healthz{OK: true, UptimeSeconds: time.Since(s.stats.start).Seconds()})
 }
+
+// Readyz is the GET /readyz reply. Unlike /healthz (pure liveness),
+// readiness is drain-aware: a draining daemon is alive but must not
+// receive new work.
+type Readyz struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Readyz{Ready: false, Draining: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, Readyz{Ready: true})
+}
+
+// BeginDrain flips /readyz to 503. Call it when graceful shutdown
+// starts, before the listener stops accepting, so balancers observe the
+// transition while the daemon still answers probes. In-flight and even
+// new requests are still served — drain only steers routing away.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.stats.snapshot(s.cache.len(), s.cache.retained()))

@@ -199,13 +199,18 @@ func (st *stats) repairP50MS() float64 {
 
 // retryAfterSeconds derives a 429 Retry-After hint from the current
 // queue depth and the median solve latency: roughly when a slot should
-// free up for one more request, clamped to [1, 30] seconds.
-func (st *stats) retryAfterSeconds(waiting, workers int) int {
+// free up for one more request, clamped to [1, 30] seconds. The hint
+// carries ±20% jitter, deterministic in the request key, so a burst of
+// shed clients spreads its retries instead of stampeding a recovering
+// replica in lockstep — while any one client's retry schedule stays
+// reproducible.
+func (st *stats) retryAfterSeconds(waiting, workers int, key string) int {
 	if workers < 1 {
 		workers = 1
 	}
 	p50 := st.repairP50MS()
-	secs := int((float64(waiting+1)*p50/float64(workers) + 999) / 1000)
+	ms := float64(waiting+1) * p50 / float64(workers) * retryJitter(key)
+	secs := int((ms + 999) / 1000)
 	if secs < 1 {
 		secs = 1
 	}
@@ -213,6 +218,21 @@ func (st *stats) retryAfterSeconds(waiting, workers int) int {
 		secs = 30
 	}
 	return secs
+}
+
+// retryJitter maps a request key to a factor in [0.8, 1.2]: FNV-1a over
+// the key, scaled. The same key always jitters the same way.
+func retryJitter(key string) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return 0.8 + 0.4*float64(h%1000)/999
 }
 
 // EndpointStats is one endpoint's latency summary in the /statsz payload.
