@@ -296,6 +296,62 @@ func BenchmarkCompressRepairDCOff(b *testing.B) {
 	benchCompressRepair(b, h, ps, core.CompressOff)
 }
 
+// benchCompressVerify isolates the patch-acceptance stage of a
+// compressed repair: quotient-side verification plus a concrete
+// spot-check (the default) against full concrete re-verification of
+// every policy (CompressConcreteVerify). The instance is the
+// concrete-side-dominated leaf-spine DC, where acceptance cost is the
+// gap between the two.
+func benchCompressVerify(b *testing.B, concrete bool) {
+	h, ps := compressDCInstance(b)
+	opts := core.DefaultOptions()
+	opts.Compress = core.CompressOn
+	opts.CompressConcreteVerify = concrete
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Repair(h, ps, opts)
+		if err != nil || !res.Solved {
+			b.Fatalf("repair failed: %v", err)
+		}
+		if res.Compressed == 0 {
+			b.Fatalf("compression never engaged (fallbacks=%d)", res.CompressFallbacks)
+		}
+	}
+}
+
+func BenchmarkCompressVerifyQuotientOn(b *testing.B)  { benchCompressVerify(b, false) }
+func BenchmarkCompressVerifyQuotientOff(b *testing.B) { benchCompressVerify(b, true) }
+
+// BenchmarkHarcStateOfDelta measures the incremental pre-repair state
+// derivation against the from-scratch build it replaces: one leaf's
+// config "changes", and StateOfDelta recomputes only the process
+// presences and per-TC graphs that device can influence, cloning the
+// rest from the base state.
+func BenchmarkHarcStateOfDelta(b *testing.B) {
+	h, _ := compressDCInstance(b)
+	base := harc.StateOf(h)
+	changed := map[string]bool{h.Network.Devices()[0].Name: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := harc.StateOfDelta(h, base, changed); st == nil {
+			b.Fatal("delta derivation bailed to a full rebuild")
+		}
+	}
+}
+
+// BenchmarkHarcStateOfFull is the from-scratch baseline for
+// BenchmarkHarcStateOfDelta, on the same instance.
+func BenchmarkHarcStateOfFull(b *testing.B) {
+	h, _ := compressDCInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = harc.StateOf(h)
+	}
+}
+
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkSubstrateSATRandom3SAT(b *testing.B) {

@@ -192,6 +192,7 @@ func printStats(res *core.Result) {
 		} else if st.CompressFallback != "" {
 			extra += " compress-fallback=" + st.CompressFallback
 		}
+		extra += stageBreakdown(st)
 		fmt.Printf("  %-12s tcs=%-4d policies=%-4d vars=%-7d softs=%-5d violated=%-3d %v %s%s\n",
 			st.Label, st.TCs, st.Policies, st.Vars, st.Softs, st.Violations,
 			st.Duration.Round(1e5), st.Status, extra)
@@ -200,6 +201,35 @@ func printStats(res *core.Result) {
 	fmt.Printf("solver: conflicts=%d decisions=%d propagations=%d (binary %d) restarts=%d learned-lits=%d db-reductions=%d arena-gcs=%d\n",
 		sv.Conflicts, sv.Decisions, sv.Propagations, sv.BinaryProps,
 		sv.Restarts, sv.LearnedLits, sv.DBReductions, sv.ArenaGCs)
+}
+
+// stageBreakdown renders a sub-problem's per-stage wall-clock split
+// (" stages[...]"), or "" when no stage was timed.
+func stageBreakdown(st core.ProblemStat) string {
+	stages := []struct {
+		name string
+		ns   int64
+	}{
+		{"harc", st.HarcBuildNs},
+		{"encode", st.EncodeNs},
+		{"solve", st.SolveNs},
+		{"concretize", st.ConcretizeNs},
+		{"reverify", st.ReverifyNs},
+	}
+	out := ""
+	for _, s := range stages {
+		if s.ns == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", s.name, time.Duration(s.ns).Round(1e5))
+	}
+	if out == "" {
+		return ""
+	}
+	return " stages[" + out + "]"
 }
 
 func readConfigs(dir string) (map[string]string, error) {

@@ -35,10 +35,12 @@ import (
 // 2a repair encoding, the per-destination decomposition on a mid-size
 // data center, the cprd warm and churn (incremental delta) repair
 // paths, the symmetry-compression speedup pair on the broken
-// fattree-k8 preset plus the quotient-build micro-benchmark, and the
-// SAT-core microbenchmarks (conflict-heavy search, incremental
-// assumptions, and learned-clause reduction with arena GC).
-const HeadlineBenchmarks = "BenchmarkTable2RepairEncodingFig2a$|BenchmarkAblationGranularityPerDst$|BenchmarkServerRepairWarm$|BenchmarkServerRepairChurn$|BenchmarkCompressRepairFatTreeOn$|BenchmarkCompressRepairFatTreeOff$|BenchmarkCompressQuotientBuild$|BenchmarkSATPigeonhole$|BenchmarkSATIncrementalAssumptions$|BenchmarkSATReduceAndGC$"
+// fattree-k8 preset plus the quotient-build micro-benchmark, the
+// quotient-side vs concrete patch-verification pair with the
+// incremental-state micro-benchmarks behind it, and the SAT-core
+// microbenchmarks (conflict-heavy search, incremental assumptions, and
+// learned-clause reduction with arena GC).
+const HeadlineBenchmarks = "BenchmarkTable2RepairEncodingFig2a$|BenchmarkAblationGranularityPerDst$|BenchmarkServerRepairWarm$|BenchmarkServerRepairChurn$|BenchmarkCompressRepairFatTreeOn$|BenchmarkCompressRepairFatTreeOff$|BenchmarkCompressQuotientBuild$|BenchmarkCompressVerifyQuotientOn$|BenchmarkCompressVerifyQuotientOff$|BenchmarkHarcStateOfDelta$|BenchmarkHarcStateOfFull$|BenchmarkSATPigeonhole$|BenchmarkSATIncrementalAssumptions$|BenchmarkSATReduceAndGC$"
 
 // HeadlinePackages are the packages holding the headline benchmarks.
 const HeadlinePackages = "repro,repro/internal/compress,repro/internal/smt/sat"

@@ -205,14 +205,20 @@ func (s *System) RepairCtx(ctx context.Context, policies []Policy, opts Options)
 	if !res.Usable() {
 		return out, nil
 	}
-	if bad := core.VerifyRepair(s.HARC, res.State, res.Repaired); len(bad) != 0 {
+	// Only policies on classes the repair touched need re-checking; the
+	// rest were verified satisfied before the repair on identical state
+	// (see core.Result.Touched).
+	if bad := core.VerifyRepairIncremental(s.HARC, res.State, res.Repaired, res.Touched, opts.Workers()); len(bad) != 0 {
 		return nil, fmt.Errorf("cpr: internal error: repair violates %d policies (first: %s)", len(bad), bad[0])
 	}
 	cfgs, err := translate.CloneConfigs(s.Configs)
 	if err != nil {
 		return nil, err
 	}
-	orig := harc.StateOf(s.HARC)
+	orig := res.Orig
+	if orig == nil {
+		orig = harc.StateOf(s.HARC)
+	}
 	plan, err := translate.Translate(s.HARC, orig, res.State, cfgs)
 	if err != nil {
 		return nil, err
@@ -227,7 +233,7 @@ func (s *System) RepairCtx(ctx context.Context, policies []Policy, opts Options)
 	// patched configuration text through the parser and verifies the
 	// repaired policies on the network it actually describes. If that
 	// ever disagrees, the whole repair is redone uncompressed.
-	if res.Compressed > 0 && !verifyPatchedConfigs(ctx, out.PatchedConfigs, res.Repaired) {
+	if res.Compressed > 0 && !verifyPatchedConfigs(ctx, out.PatchedConfigs, res.Repaired, res.State) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -243,7 +249,13 @@ func (s *System) RepairCtx(ctx context.Context, policies []Policy, opts Options)
 // restricted to the policies' traffic classes (building the full
 // all-pairs HARC would dwarf the repair itself on large networks).
 // Policies are rebound to the re-parsed network's subnets by name.
-func verifyPatchedConfigs(ctx context.Context, patched map[string]string, policies []Policy) bool {
+//
+// Fast path: when the re-parsed network's extracted state is identical
+// (on every map a policy check reads) to the already-verified repaired
+// state `want`, every verdict must agree with the verified one, so the
+// per-policy graph checks — and the per-class ETG builds they imply —
+// are skipped entirely. Any difference falls back to the full checks.
+func verifyPatchedConfigs(ctx context.Context, patched map[string]string, policies []Policy, want *harc.State) bool {
 	keys := make([]string, 0, len(patched))
 	for k := range patched {
 		keys = append(keys, k)
@@ -298,6 +310,12 @@ func verifyPatchedConfigs(ctx context.Context, patched map[string]string, polici
 		}
 		rebound = append(rebound, rp)
 	}
+	if want != nil {
+		lh := harc.BuildLite(n, tcs)
+		if patchedStateMatches(harc.StateOf(lh), want, tcs) {
+			return true
+		}
+	}
 	h := harc.BuildForTCs(n, tcs)
 	for _, p := range rebound {
 		if ctx.Err() != nil {
@@ -305,6 +323,51 @@ func verifyPatchedConfigs(ctx context.Context, patched map[string]string, polici
 		}
 		if !policy.Check(h, p) {
 			return false
+		}
+	}
+	return true
+}
+
+// patchedStateMatches compares the state extracted from re-parsed
+// patched configs with the verified repaired state, over every map the
+// policy verifiers read: per-class and per-destination presence for the
+// given classes, edge costs, and waypoints. Equality means the patched
+// network's graphs are the repaired state's graphs, so every verified
+// verdict transfers; the construct maps (route filters, statics) only
+// feed presence and need no separate comparison.
+func patchedStateMatches(got, want *harc.State, tcs []TrafficClass) bool {
+	boolEq := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if bv, ok := b[k]; !ok || bv != v {
+				return false
+			}
+		}
+		return true
+	}
+	if len(got.Cost) != len(want.Cost) {
+		return false
+	}
+	for k, v := range got.Cost {
+		if wv, ok := want.Cost[k]; !ok || wv != v {
+			return false
+		}
+	}
+	if !boolEq(got.Waypoint, want.Waypoint) {
+		return false
+	}
+	seenDst := map[string]bool{}
+	for _, tc := range tcs {
+		if !boolEq(got.TC[tc.Key()], want.TC[tc.Key()]) {
+			return false
+		}
+		if !seenDst[tc.Dst.Name] {
+			seenDst[tc.Dst.Name] = true
+			if !boolEq(got.Dst[tc.Dst.Name], want.Dst[tc.Dst.Name]) {
+				return false
+			}
 		}
 	}
 	return true

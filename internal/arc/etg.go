@@ -46,14 +46,22 @@ type builder struct {
 	etg *ETG
 }
 
-func newBuilder(level Level) *builder {
+// presentSlot is a slot admitted by a presence rule, with its edge
+// weight. Builds run in two passes — gather present slots, then size
+// the graph exactly and add — so the vertex/edge maps never rehash.
+type presentSlot struct {
+	s *Slot
+	w int64
+}
+
+func newBuilder(level Level, ne int) *builder {
 	return &builder{etg: &ETG{
 		Level:  level,
-		G:      graph.New(),
+		G:      graph.NewWithCap(ne+2, ne),
 		Src:    graph.V(graph.None),
 		Dst:    graph.V(graph.None),
-		SlotOf: make(map[graph.E]*Slot),
-		EdgeOf: make(map[string]graph.E),
+		SlotOf: make(map[graph.E]*Slot, ne),
+		EdgeOf: make(map[string]graph.E, ne),
 	}}
 }
 
@@ -73,13 +81,7 @@ func (b *builder) add(s *Slot, weight int64) {
 
 // BuildTCETG builds the traffic-class ETG for tc (Algorithm 1).
 func BuildTCETG(slots []*Slot, tc topology.TrafficClass) *ETG {
-	b := newBuilder(LevelTC)
-	b.etg.TC = tc
-	b.etg.DstSubnet = tc.Dst
-	// Always materialize SRC and DST so verification is well-defined even
-	// when every attachment edge is blocked.
-	b.etg.Src = b.etg.G.AddVertex("SRC")
-	b.etg.Dst = b.etg.G.AddVertex("DST")
+	var present []presentSlot
 	for _, s := range slots {
 		if s.Kind == SlotSource && s.Subnet != tc.Src {
 			continue
@@ -88,8 +90,18 @@ func BuildTCETG(slots []*Slot, tc topology.TrafficClass) *ETG {
 			continue
 		}
 		if s.PresentTC(tc) {
-			b.add(s, s.Weight(tc.Dst))
+			present = append(present, presentSlot{s, s.Weight(tc.Dst)})
 		}
+	}
+	b := newBuilder(LevelTC, len(present))
+	b.etg.TC = tc
+	b.etg.DstSubnet = tc.Dst
+	// Always materialize SRC and DST so verification is well-defined even
+	// when every attachment edge is blocked.
+	b.etg.Src = b.etg.G.AddVertex("SRC")
+	b.etg.Dst = b.etg.G.AddVertex("DST")
+	for _, p := range present {
+		b.add(p.s, p.w)
 	}
 	return b.etg
 }
@@ -101,11 +113,7 @@ func BuildTCETG(slots []*Slot, tc topology.TrafficClass) *ETG {
 // tcETG. PC4 verification walks this graph, then checks tcETG usability
 // of the resulting path.
 func BuildRoutingETG(slots []*Slot, tc topology.TrafficClass) *ETG {
-	b := newBuilder(LevelTC)
-	b.etg.TC = tc
-	b.etg.DstSubnet = tc.Dst
-	b.etg.Src = b.etg.G.AddVertex("SRC")
-	b.etg.Dst = b.etg.G.AddVertex("DST")
+	var present []presentSlot
 	for _, s := range slots {
 		if s.Kind == SlotSource && s.Subnet != tc.Src {
 			continue
@@ -114,8 +122,16 @@ func BuildRoutingETG(slots []*Slot, tc topology.TrafficClass) *ETG {
 			continue
 		}
 		if s.PresentRouting(tc) {
-			b.add(s, s.Weight(tc.Dst))
+			present = append(present, presentSlot{s, s.Weight(tc.Dst)})
 		}
+	}
+	b := newBuilder(LevelTC, len(present))
+	b.etg.TC = tc
+	b.etg.DstSubnet = tc.Dst
+	b.etg.Src = b.etg.G.AddVertex("SRC")
+	b.etg.Dst = b.etg.G.AddVertex("DST")
+	for _, p := range present {
+		b.add(p.s, p.w)
 	}
 	return b.etg
 }
@@ -124,9 +140,7 @@ func BuildRoutingETG(slots []*Slot, tc topology.TrafficClass) *ETG {
 // routes apply, ACLs do not, and all sources are represented (source slots
 // are omitted; the DST vertex is present).
 func BuildDstETG(slots []*Slot, dst *topology.Subnet) *ETG {
-	b := newBuilder(LevelDst)
-	b.etg.DstSubnet = dst
-	b.etg.Dst = b.etg.G.AddVertex("DST")
+	var present []presentSlot
 	for _, s := range slots {
 		if s.Kind == SlotSource {
 			continue
@@ -135,22 +149,32 @@ func BuildDstETG(slots []*Slot, dst *topology.Subnet) *ETG {
 			continue
 		}
 		if s.PresentDst(dst) {
-			b.add(s, s.Weight(dst))
+			present = append(present, presentSlot{s, s.Weight(dst)})
 		}
+	}
+	b := newBuilder(LevelDst, len(present))
+	b.etg.DstSubnet = dst
+	b.etg.Dst = b.etg.G.AddVertex("DST")
+	for _, p := range present {
+		b.add(p.s, p.w)
 	}
 	return b.etg
 }
 
 // BuildAllETG builds the aETG: adjacencies and redistribution only.
 func BuildAllETG(slots []*Slot) *ETG {
-	b := newBuilder(LevelAll)
+	var present []presentSlot
 	for _, s := range slots {
 		if s.Kind == SlotSource || s.Kind == SlotDest {
 			continue
 		}
 		if s.PresentAll() {
-			b.add(s, s.Weight(nil))
+			present = append(present, presentSlot{s, s.Weight(nil)})
 		}
+	}
+	b := newBuilder(LevelAll, len(present))
+	for _, p := range present {
+		b.add(p.s, p.w)
 	}
 	return b.etg
 }

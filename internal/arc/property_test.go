@@ -218,3 +218,71 @@ func TestPropertyHierarchyByConstruction(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the max-flow PC3 verifier agrees with the ground-truth subset
+// enumeration on every random network and every K — the equivalence the
+// Menger reduction in kflow.go claims.
+func TestKFlowMatchesExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNetwork(r)
+		if len(n.Subnets) < 2 {
+			return true
+		}
+		slots := Slots(n)
+		for _, tc := range n.TrafficClasses() {
+			etg := BuildTCETG(slots, tc)
+			for k := 1; k <= 4; k++ {
+				if VerifyKReachable(etg, n, k) != VerifyKReachableExhaustive(etg, n, k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when MinLinkCut reports a witness, failing exactly those links
+// really disconnects the class, and the witness is smaller than K; when it
+// reports none, the verifier agrees the policy holds.
+func TestMinLinkCutWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomNetwork(r)
+		if len(n.Subnets) < 2 {
+			return true
+		}
+		slots := Slots(n)
+		tc := topology.TrafficClass{Src: n.Subnets[0], Dst: n.Subnets[1]}
+		etg := BuildTCETG(slots, tc)
+		for k := 1; k <= 4; k++ {
+			links, found := MinLinkCut(etg, k)
+			if !found {
+				if !VerifyKReachable(etg, n, k) {
+					return false // no witness but policy violated
+				}
+				continue
+			}
+			if VerifyKReachable(etg, n, k) {
+				return false // witness against a holding policy
+			}
+			if len(links) >= k {
+				return false // witness must use fewer than k failures
+			}
+			failed := map[*topology.Link]bool{}
+			for _, l := range links {
+				failed[l] = true
+			}
+			if etg.WithoutLinks(failed).G.PathExists(etg.Src, etg.Dst) {
+				return false // witness does not disconnect
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -69,6 +69,15 @@ type Slot struct {
 	Intf   *topology.Interface
 
 	key string // cached Key(), filled by Slots
+
+	// fromV/toV cache FromVertex()/ToVertex(), filled by Slots: the
+	// builder concatenates vertex names once per ETG per slot, which
+	// dominates large builds without the cache.
+	fromV, toV string
+	// adjUp caches adjacencyUp() (valid when adjCached): adjacency
+	// depends only on the immutable interface/passive configuration, and
+	// the uncached path scans every process interface per call.
+	adjUp, adjCached bool
 }
 
 // Key returns a stable identifier unique within a network. Slots are
@@ -99,6 +108,13 @@ func (s *Slot) keyUncached() string {
 
 // FromVertex returns the tail ETG vertex name.
 func (s *Slot) FromVertex() string {
+	if s.fromV != "" {
+		return s.fromV
+	}
+	return s.fromVertexUncached()
+}
+
+func (s *Slot) fromVertexUncached() string {
 	switch s.Kind {
 	case SlotSource:
 		return "SRC"
@@ -113,6 +129,13 @@ func (s *Slot) FromVertex() string {
 
 // ToVertex returns the head ETG vertex name.
 func (s *Slot) ToVertex() string {
+	if s.toV != "" {
+		return s.toV
+	}
+	return s.toVertexUncached()
+}
+
+func (s *Slot) toVertexUncached() string {
 	switch s.Kind {
 	case SlotDest:
 		return "DST"
@@ -189,6 +212,12 @@ func Slots(n *topology.Network) []*Slot {
 
 	for _, s := range slots {
 		s.key = s.keyUncached()
+		s.fromV = s.fromVertexUncached()
+		s.toV = s.toVertexUncached()
+		if s.Kind == SlotInterDevice {
+			s.adjUp = s.adjacencyUpUncached()
+			s.adjCached = true
+		}
 	}
 	sort.Slice(slots, func(i, j int) bool { return slots[i].Key() < slots[j].Key() })
 	return slots
@@ -218,6 +247,13 @@ func (s *Slot) PresentAll() bool {
 // slot's link: both processes run over their respective interfaces and
 // neither side is passive.
 func (s *Slot) adjacencyUp() bool {
+	if s.adjCached {
+		return s.adjUp
+	}
+	return s.adjacencyUpUncached()
+}
+
+func (s *Slot) adjacencyUpUncached() bool {
 	if !s.FromProc.UsesInterface(s.FromIntf) || !s.ToProc.UsesInterface(s.ToIntf) {
 		return false
 	}

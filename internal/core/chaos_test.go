@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"strconv"
 	"testing"
 
 	"repro/internal/faultinject"
+	"repro/internal/generate"
 	"repro/internal/harc"
 	"repro/internal/policy"
 	"repro/internal/topology"
@@ -223,6 +225,121 @@ func TestDegradedFallbackVerifies(t *testing.T) {
 	}
 	if res.Changes == 0 {
 		t.Error("degraded repair reports zero changes")
+	}
+}
+
+// compressibleChaosInstance returns a broken k=4 fat-tree: small enough
+// for the chaos suite, symmetric enough that the quotient builder finds
+// real device classes, so compressed repairs reach the verification
+// stage the failpoints below target.
+func compressibleChaosInstance(t *testing.T) (*harc.HARC, []policy.Policy) {
+	t.Helper()
+	inst, err := generate.FatTree(generate.FatTreeOptions{K: 4, PC1: 2, PC2: 1, PC3: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := generate.BreakFatTree(inst, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	return inst.Harc(), inst.Policies
+}
+
+// TestChaosQuotientVerifyFallback arms the quotient-verification
+// failpoint (a simulated quotient/concrete disagreement before the
+// spot-check) and pins the degraded path: every affected sub-problem
+// falls back at stage "qverify", re-solves uncompressed to the same
+// state the compress-off run produces, and nothing fallback-tainted is
+// ever cached.
+func TestChaosQuotientVerifyFallback(t *testing.T) {
+	testCompressVerifyFallback(t, faultinject.CoreQVerifyError, "qverify")
+}
+
+// TestChaosSpotCheckDisagreement is the seeded spot-check-disagreement
+// case: the quotient verification passes but the concrete spot-check
+// member disagrees (simulated by the failpoint), so the sub-problem must
+// fall back at stage "spot-check" and full concrete re-verification —
+// the uncompressed re-solve — must take over.
+func TestChaosSpotCheckDisagreement(t *testing.T) {
+	testCompressVerifyFallback(t, faultinject.CoreSpotCheckError, "spot-check")
+}
+
+func testCompressVerifyFallback(t *testing.T, site, stage string) {
+	h, ps := compressibleChaosInstance(t)
+
+	off := DefaultOptions()
+	off.Compress = CompressOff
+	base, err := Repair(h, ps, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Solved {
+		t.Fatalf("uncompressed baseline unsolved: %+v", base.Stats)
+	}
+
+	if err := faultinject.Set(site, "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	opts := DefaultOptions()
+	opts.Compress = CompressOn
+	opts.Cache = NewSolveCache("chaos-qverify")
+	res, err := Repair(h, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("verification fallback did not re-solve uncompressed: degraded=%d failed=%d",
+			res.Degraded, res.Failed)
+	}
+	atStage := 0
+	for _, st := range res.Stats {
+		if st.Compressed {
+			t.Errorf("problem %s accepted a quotient solve despite the armed %s failpoint", st.Label, site)
+		}
+		if st.CompressFallback == stage {
+			atStage++
+		}
+	}
+	if atStage == 0 {
+		t.Fatalf("failpoint %s armed but no sub-problem fell back at stage %q (stats: %+v)",
+			site, stage, res.Stats)
+	}
+	// The fallback path is full concrete re-solving, so the outcome must
+	// be byte-identical to the compress-off optimum.
+	if !reflect.DeepEqual(res.State, base.State) {
+		t.Error("fallback state differs from the uncompressed repair")
+	}
+	if res.Changes != base.Changes {
+		t.Errorf("fallback cost %d changes, uncompressed %d", res.Changes, base.Changes)
+	}
+	if bad := VerifyRepair(h, res.State, res.Repaired); len(bad) != 0 {
+		t.Fatalf("fallback state violates %d repaired policies (first: %s)", len(bad), bad[0])
+	}
+
+	// Fallback-tainted outcomes must never be cached: with the fault
+	// cleared, a repeat repair through the same cache must re-solve from
+	// scratch (zero replays) and now compress cleanly.
+	faultinject.Reset()
+	res2, err := Repair(h, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reused != 0 {
+		t.Errorf("replayed %d fallback-tainted sub-problems from the cache, want 0", res2.Reused)
+	}
+	if res2.Compressed == 0 {
+		t.Errorf("clean re-run never compressed (fallbacks=%d)", res2.CompressFallbacks)
+	}
+	for _, st := range res2.Stats {
+		if st.CompressFallback == stage {
+			t.Errorf("problem %s still falls back at %q with the failpoint cleared", st.Label, stage)
+		}
+	}
+	// The lossy quotient may cost more than the uncompressed optimum, so
+	// the clean run is checked for soundness, not byte-identity.
+	if bad := VerifyRepair(h, res2.State, res2.Repaired); len(bad) != 0 {
+		t.Fatalf("clean compressed re-run violates %d repaired policies (first: %s)", len(bad), bad[0])
 	}
 }
 

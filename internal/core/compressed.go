@@ -3,10 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"strconv"
+	"time"
 
 	"repro/internal/arc"
 	"repro/internal/compress"
+	"repro/internal/faultinject"
 	"repro/internal/harc"
 	"repro/internal/policy"
 	"repro/internal/smt/sat"
@@ -130,16 +133,23 @@ func tryCompressed(ctx context.Context, h *harc.HARC, orig *harc.State, pr *prob
 		pr.stat.CompressFallback = "remap"
 		return false
 	}
+	t0 := time.Now()
 	qh := harc.BuildForTCs(q.Net, qtcs)
 	qorig := harc.StateOf(qh)
+	pr.stat.HarcBuildNs += time.Since(t0).Nanoseconds()
 	qpr := &problem{label: pr.label, tcs: qtcs, policies: qpolicies, freeze: true}
 	qtb := newTables(qh, []*problem{qpr})
 	enc := newEncoder(qtb, qorig, qtcs, qpolicies, true, opts)
+	t0 = time.Now()
 	if err := enc.encode(ctx); err != nil {
+		pr.stat.EncodeNs += time.Since(t0).Nanoseconds()
 		pr.stat.CompressFallback = "encode"
 		return false
 	}
+	pr.stat.EncodeNs += time.Since(t0).Nanoseconds()
+	t0 = time.Now()
 	cost, status := enc.solve(ctx)
+	pr.stat.SolveNs += time.Since(t0).Nanoseconds()
 	pr.stat.Vars = enc.s.NumVars()
 	pr.stat.Softs = len(enc.softs)
 	pr.stat.Conflicts += enc.s.Conflicts
@@ -157,19 +167,23 @@ func tryCompressed(ctx context.Context, h *harc.HARC, orig *harc.State, pr *prob
 	qrep := qorig.Clone()
 	enc.extract(qrep)
 
-	trial, changes, cok := concretizePatch(h, orig, pr, q, qh, qorig, qrep, opts)
+	t0 = time.Now()
+	trial, changes, touched, cok := concretizePatch(h, orig, pr, q, qh, qorig, qrep, opts)
+	pr.stat.ConcretizeNs += time.Since(t0).Nanoseconds()
 	if !cok {
 		pr.stat.CompressFallback = "concretize"
 		return false
 	}
-	// The safety net: the concretized patch must re-verify on the
-	// uncompressed network. Any over-merge the refiner committed
-	// surfaces here and sends the destination down the uncompressed path.
-	for _, p := range pr.policies {
-		if !policy.CheckState(h, trial, p) {
-			pr.stat.CompressFallback = "verify"
-			return false
-		}
+	// The safety net: verify the patch on the quotient plus a
+	// deterministic concrete spot-check sample (or, under
+	// CompressConcreteVerify, on every policy concretely). Any over-merge
+	// the refiner committed surfaces here and sends the destination down
+	// the uncompressed path with the failing stage recorded.
+	t0 = time.Now()
+	vok := verifyOnQuotient(h, qh, qrep, trial, pr, qpolicies, q, touched, opts)
+	pr.stat.ReverifyNs += time.Since(t0).Nanoseconds()
+	if !vok {
+		return false
 	}
 	pr.realized = trial
 	pr.realizedChanges = changes
@@ -181,6 +195,119 @@ func tryCompressed(ctx context.Context, h *harc.HARC, orig *harc.State, pr *prob
 		pr.stat.Attempts = 1
 	}
 	return true
+}
+
+// verifyOnQuotient decides whether a concretized patch is accepted. The
+// pre-quotient-verify behavior (every policy re-checked concretely on
+// trial) is kept behind Options.CompressConcreteVerify as the oracle and
+// benchmark baseline. The default ladder has two rungs, each naming its
+// own fallback stage:
+//
+//  1. "qverify" — every remapped policy is verified on the quotient HARC
+//     against the extracted quotient state. The solver's hard constraints
+//     make this pass by construction, so a failure means the extraction
+//     or remap is broken; the same stage also absorbs an injected
+//     core/qverify-error fault, degrading to the uncompressed solve.
+//  2. "spot-check" — a deterministic concrete sample: every policy the
+//     sub-problem was created to fix (violated pre-repair), plus one
+//     seeded policy per equivalence class the patch touched. Checking a
+//     policy on the concrete trial state exercises every member of the
+//     touched classes (policy endpoints stay concrete; class members are
+//     interior, so any class-crossing path traverses non-representative
+//     members), which is where count-based concretization can go wrong.
+//
+// Either failure returns false with ProblemStat.CompressFallback set, so
+// the caller re-solves uncompressed — the same full concrete guarantee
+// as before, reached only when the cheap checks disagree. Fallback
+// stages are never cached (cacheableOutcome requires an empty stage).
+func verifyOnQuotient(h, qh *harc.HARC, qrep, trial *harc.State, pr *problem, qpolicies []policy.Policy, q *compress.Quotient, touched map[string]bool, opts Options) bool {
+	if opts.CompressConcreteVerify {
+		checker := policy.NewStateChecker(h, trial)
+		for _, p := range pr.policies {
+			if !checker.Check(p) {
+				pr.stat.CompressFallback = "verify"
+				return false
+			}
+		}
+		return true
+	}
+	if faultinject.Eval(faultinject.CoreQVerifyError) != nil {
+		pr.stat.CompressFallback = "qverify"
+		return false
+	}
+	qchecker := policy.NewStateChecker(qh, qrep)
+	for _, qp := range qpolicies {
+		if !qchecker.Check(qp) {
+			pr.stat.CompressFallback = "qverify"
+			return false
+		}
+	}
+	if faultinject.Eval(faultinject.CoreSpotCheckError) != nil {
+		pr.stat.CompressFallback = "spot-check"
+		return false
+	}
+	checker := policy.NewStateChecker(h, trial)
+	for _, p := range spotCheckSample(pr, q, touched) {
+		if !checker.Check(p) {
+			pr.stat.CompressFallback = "spot-check"
+			return false
+		}
+	}
+	return true
+}
+
+// spotCheckSample selects the concrete policies to verify after a
+// quotient-verified patch: every policy violated before the repair (the
+// ones the patch must fix), plus one policy per lossy equivalence class
+// holding a device the patch touched, chosen by a seed derived from the
+// sub-problem label so the sample is identical at every parallelism
+// setting and across runs. Classes the patch left alone cannot have
+// changed state; lossless classes (every member kept) concretize
+// per-slot byte-exactly and need no sampling.
+func spotCheckSample(pr *problem, q *compress.Quotient, touched map[string]bool) []policy.Policy {
+	if len(pr.policies) == 0 {
+		return nil
+	}
+	picked := make(map[int]bool, len(pr.violated)+4)
+	var sample []policy.Policy
+	byString := make(map[string]int, len(pr.policies))
+	for i, p := range pr.policies {
+		byString[p.String()] = i
+	}
+	for _, p := range pr.violated {
+		if i, ok := byString[p.String()]; ok && !picked[i] {
+			picked[i] = true
+			sample = append(sample, pr.policies[i])
+		}
+	}
+	seed := fnv.New64a()
+	seed.Write([]byte(pr.label))
+	base := seed.Sum64()
+	for ci, c := range q.Classes {
+		if len(c.Members) <= len(c.Kept) {
+			continue
+		}
+		hit := false
+		for _, m := range c.Members {
+			if touched[m] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		idx := int((base ^ (uint64(ci)*0x9e3779b97f4a7c15 + 1)) % uint64(len(pr.policies)))
+		for tries := 0; tries < len(pr.policies); tries++ {
+			if !picked[idx] {
+				picked[idx] = true
+				sample = append(sample, pr.policies[idx])
+				break
+			}
+			idx = (idx + 1) % len(pr.policies)
+		}
+	}
+	return sample
 }
 
 // remapToQuotient rebinds the sub-problem's traffic classes and
@@ -259,17 +386,68 @@ func groupInterSlots(h *harc.HARC, classOf map[string]int) *interGroups {
 // concretized cost byte-exact) and by per-group counts otherwise: if
 // the solver added one static route from a representative toward a
 // class, each member assigned to that representative adds one. Returns
-// the trial state, the concrete modeled-change count, and whether every
+// the trial state, the concrete modeled-change count, the set of
+// concrete devices whose constructs the patch edited (driving the
+// spot-check sample and the incremental re-check), and whether every
 // quotient edit found a concrete home.
-func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Quotient, qh *harc.HARC, qorig, qrep *harc.State, opts Options) (*harc.State, int, bool) {
+// cowTrial clones orig only where concretizePatch can write: the flat
+// construct and waypoint maps, this sub-problem's per-destination dETG
+// maps, and its per-class tcETG maps. Every other per-dst and per-TC
+// inner map — the dominant cost of a full Clone on a large network — is
+// shared read-only with orig, which is safe because the verifiers, the
+// serial merge, and the solve cache all treat realized states as
+// immutable.
+func cowTrial(orig *harc.State, pr *problem) *harc.State {
+	trial := &harc.State{
+		All:         orig.All,
+		Cost:        orig.Cost,
+		Dst:         make(map[string]map[string]bool, len(orig.Dst)),
+		TC:          make(map[string]map[string]bool, len(orig.TC)),
+		Waypoint:    make(map[string]bool, len(orig.Waypoint)),
+		RouteFilter: make(map[string]bool, len(orig.RouteFilter)),
+		Static:      make(map[string]bool, len(orig.Static)),
+	}
+	for k, v := range orig.Waypoint {
+		trial.Waypoint[k] = v
+	}
+	for k, v := range orig.RouteFilter {
+		trial.RouteFilter[k] = v
+	}
+	for k, v := range orig.Static {
+		trial.Static[k] = v
+	}
+	for d, m := range orig.Dst {
+		trial.Dst[d] = m
+	}
+	for t, m := range orig.TC {
+		trial.TC[t] = m
+	}
+	copyInner := func(m map[string]bool) map[string]bool {
+		c := make(map[string]bool, len(m))
+		for k, v := range m {
+			c[k] = v
+		}
+		return c
+	}
+	for _, dst := range pr.dsts() {
+		trial.Dst[dst.Name] = copyInner(orig.Dst[dst.Name])
+	}
+	for _, tc := range pr.tcs {
+		trial.TC[tc.Key()] = copyInner(orig.TC[tc.Key()])
+	}
+	return trial
+}
+
+func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Quotient, qh *harc.HARC, qorig, qrep *harc.State, opts Options) (*harc.State, int, map[string]bool, bool) {
 	// Per-destination repairs with no PC4 never touch link costs.
 	for ck, v := range qrep.Cost {
 		if v != qorig.Cost[ck] {
-			return nil, 0, false
+			return nil, 0, nil, false
 		}
 	}
-	trial := orig.Clone()
+	trial := cowTrial(orig, pr)
 	changes := 0
+	touched := map[string]bool{}
 	dsts := pr.dsts()
 
 	// Waypoint additions fan out class-pair-wide: the quotient link's
@@ -296,6 +474,8 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 			if wanted[cpair{a, b}] && !trial.Waypoint[l.Name()] {
 				trial.Waypoint[l.Name()] = true
 				changes += opts.WaypointWeight
+				touched[l.A.Device.Name] = true
+				touched[l.B.Device.Name] = true
 			}
 		}
 	}
@@ -306,7 +486,7 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 		for _, d := range h.Network.Devices() {
 			rep := q.Rep[d.Name]
 			if rep == "" {
-				return nil, 0, false
+				return nil, 0, nil, false
 			}
 			for _, p := range d.Processes {
 				qkey := harc.RFKey(dst.Name, rep+":"+procSuffix(p))
@@ -318,6 +498,7 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 				if trial.RouteFilter[key] != v {
 					trial.RouteFilter[key] = v
 					changes++
+					touched[d.Name] = true
 				}
 			}
 		}
@@ -362,11 +543,13 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 					if f.on && !trial.Static[key] {
 						trial.Static[key] = true
 						changes++
+						touched[d.Name] = true
 						addN--
 					}
 					if f.off && trial.Static[key] {
 						trial.Static[key] = false
 						changes++
+						touched[d.Name] = true
 						delN--
 					}
 				}
@@ -375,15 +558,17 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 					if addN > 0 && !trial.Static[key] {
 						trial.Static[key] = true
 						changes++
+						touched[d.Name] = true
 						addN--
 					} else if delN > 0 && trial.Static[key] {
 						trial.Static[key] = false
 						changes++
+						touched[d.Name] = true
 						delN--
 					}
 				}
 				if addN > 0 || delN > 0 {
-					return nil, 0, false // quotient edit with no concrete home
+					return nil, 0, nil, false // quotient edit with no concrete home
 				}
 			}
 		}
@@ -443,6 +628,7 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 					if f.now != was {
 						plan[key] = f.now
 						changes++
+						touched[d.Name] = true
 						if f.now && !f.was {
 							addN--
 						}
@@ -466,15 +652,17 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 					if addN > 0 && !was {
 						plan[key] = true
 						changes++
+						touched[d.Name] = true
 						addN--
 					} else if delN > 0 && was {
 						plan[key] = false
 						changes++
+						touched[d.Name] = true
 						delN--
 					}
 				}
 				if addN > 0 || delN > 0 {
-					return nil, 0, false
+					return nil, 0, nil, false
 				}
 			}
 		}
@@ -488,10 +676,11 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 			case arc.SlotSource:
 				v, ok := qm[key]
 				if !ok {
-					return nil, 0, false // endpoint slot must exist in the quotient
+					return nil, 0, nil, false // endpoint slot must exist in the quotient
 				}
 				if v != origM[key] {
 					changes++
+					touched[s.ToProc.Device.Name] = true
 				}
 				if trial.RouteFilter[harc.RFKey(tc.Dst.Name, s.ToProc.Name())] {
 					v = false
@@ -501,12 +690,13 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 				m[key] = dm[key]
 			case arc.SlotDest:
 				if _, ok := qdm[key]; !ok {
-					return nil, 0, false
+					return nil, 0, nil, false
 				}
 				was := origDm[key] && !origM[key]
 				now := qdm[key] && !qm[key]
 				if now != was {
 					changes++
+					touched[s.FromProc.Device.Name] = true
 				}
 				m[key] = dm[key] && !now
 			case arc.SlotInterDevice:
@@ -518,5 +708,5 @@ func concretizePatch(h *harc.HARC, orig *harc.State, pr *problem, q *compress.Qu
 			}
 		}
 	}
-	return trial, changes, true
+	return trial, changes, touched, true
 }

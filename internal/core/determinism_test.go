@@ -45,6 +45,11 @@ func project(res *Result) comparableResult {
 	for i := range stats {
 		stats[i].Duration = 0
 		stats[i].Reused = false
+		stats[i].HarcBuildNs = 0
+		stats[i].EncodeNs = 0
+		stats[i].SolveNs = 0
+		stats[i].ConcretizeNs = 0
+		stats[i].ReverifyNs = 0
 	}
 	return comparableResult{
 		State:    res.State,
@@ -74,65 +79,79 @@ func TestRepairDeterministicAcrossParallelism(t *testing.T) {
 		// auto threshold) so the quotient build, solve, and patch
 		// concretization are all under the same byte-identical contract.
 		for _, cmp := range []CompressMode{CompressOff, CompressOn} {
-			for _, inc := range []bool{false, true} {
-				t.Run(fmt.Sprintf("isolation=%v/compress=%v/incremental=%v", iso, cmp, inc), func(t *testing.T) {
-					var ref comparableResult
-					for i, par := range []int{1, 4, 0} {
-						opts := DefaultOptions()
-						opts.Isolation = iso
-						opts.Compress = cmp
-						opts.Parallelism = par
-						if inc {
-							// Fresh cache per parallelism setting: prime it with
-							// one solve, then measure the replay. The replay must
-							// reuse every sub-problem and match the fresh result
-							// other runs produce without a cache.
-							opts.Cache = NewSolveCache("det-epoch")
-							if _, err := Repair(h, ps, opts); err != nil {
-								t.Fatalf("prime Repair(parallelism=%d): %v", par, err)
+			// Compressed repairs accept patches via quotient-side
+			// verification plus a concrete spot-check by default; the
+			// CompressConcreteVerify leg re-runs the same repairs under the
+			// full concrete oracle. Both must be byte-identical at every
+			// parallelism (and to each other — checked via freshRef below,
+			// since the verify mode never changes the accepted patch).
+			cverifies := []bool{false}
+			if cmp == CompressOn {
+				cverifies = []bool{false, true}
+			}
+			for _, cverify := range cverifies {
+				for _, inc := range []bool{false, true} {
+					t.Run(fmt.Sprintf("isolation=%v/compress=%v/cverify=%v/incremental=%v", iso, cmp, cverify, inc), func(t *testing.T) {
+						var ref comparableResult
+						for i, par := range []int{1, 2, 4, 0} {
+							opts := DefaultOptions()
+							opts.Isolation = iso
+							opts.Compress = cmp
+							opts.CompressConcreteVerify = cverify
+							opts.Parallelism = par
+							if inc {
+								// Fresh cache per parallelism setting: prime it with
+								// one solve, then measure the replay. The replay must
+								// reuse every sub-problem and match the fresh result
+								// other runs produce without a cache.
+								opts.Cache = NewSolveCache("det-epoch")
+								if _, err := Repair(h, ps, opts); err != nil {
+									t.Fatalf("prime Repair(parallelism=%d): %v", par, err)
+								}
+							}
+							res, err := Repair(h, ps, opts)
+							if err != nil {
+								t.Fatalf("Repair(parallelism=%d): %v", par, err)
+							}
+							if !res.Solved {
+								t.Fatalf("Repair(parallelism=%d) unsolved: %+v", par, res.Stats)
+							}
+							if inc && res.Reused != len(res.Stats) {
+								t.Fatalf("Repair(parallelism=%d) replayed %d of %d problems, want all",
+									par, res.Reused, len(res.Stats))
+							}
+							got := project(res)
+							if i == 0 {
+								ref = got
+								continue
+							}
+							if !reflect.DeepEqual(got.State, ref.State) {
+								t.Errorf("parallelism=%d: repaired state differs from parallelism=1", par)
+							}
+							if got.Changes != ref.Changes {
+								t.Errorf("parallelism=%d: changes %d != %d", par, got.Changes, ref.Changes)
+							}
+							if !reflect.DeepEqual(got.Repaired, ref.Repaired) {
+								t.Errorf("parallelism=%d: repaired policy set differs", par)
+							}
+							if !reflect.DeepEqual(got.Stats, ref.Stats) {
+								t.Errorf("parallelism=%d: stats differ\n got %+v\nwant %+v", par, got.Stats, ref.Stats)
+							}
+							if got.Solved != ref.Solved || got.Degraded != ref.Degraded || got.Failed != ref.Failed {
+								t.Errorf("parallelism=%d: outcome counts differ", par)
 							}
 						}
-						res, err := Repair(h, ps, opts)
-						if err != nil {
-							t.Fatalf("Repair(parallelism=%d): %v", par, err)
+						// Every leg of an (isolation, compress) pair — cached
+						// replays AND the concrete-verify variant — must equal
+						// the first fresh solve of that pair.
+						mode := fmt.Sprintf("%v/%v", iso, cmp)
+						if fresh, ok := freshRef[mode]; !ok {
+							freshRef[mode] = ref
+						} else if !reflect.DeepEqual(ref, fresh) {
+							t.Errorf("cverify=%v/incremental=%v differs from the fresh solve for %s", cverify, inc, mode)
 						}
-						if !res.Solved {
-							t.Fatalf("Repair(parallelism=%d) unsolved: %+v", par, res.Stats)
-						}
-						if inc && res.Reused != len(res.Stats) {
-							t.Fatalf("Repair(parallelism=%d) replayed %d of %d problems, want all",
-								par, res.Reused, len(res.Stats))
-						}
-						got := project(res)
-						if i == 0 {
-							ref = got
-							continue
-						}
-						if !reflect.DeepEqual(got.State, ref.State) {
-							t.Errorf("parallelism=%d: repaired state differs from parallelism=1", par)
-						}
-						if got.Changes != ref.Changes {
-							t.Errorf("parallelism=%d: changes %d != %d", par, got.Changes, ref.Changes)
-						}
-						if !reflect.DeepEqual(got.Repaired, ref.Repaired) {
-							t.Errorf("parallelism=%d: repaired policy set differs", par)
-						}
-						if !reflect.DeepEqual(got.Stats, ref.Stats) {
-							t.Errorf("parallelism=%d: stats differ\n got %+v\nwant %+v", par, got.Stats, ref.Stats)
-						}
-						if got.Solved != ref.Solved || got.Degraded != ref.Degraded || got.Failed != ref.Failed {
-							t.Errorf("parallelism=%d: outcome counts differ", par)
-						}
-					}
-					// The cached replay must equal the fresh solve from the
-					// incremental=false run of the same mode pair.
-					mode := fmt.Sprintf("%v/%v", iso, cmp)
-					if !inc {
-						freshRef[mode] = ref
-					} else if fresh, ok := freshRef[mode]; ok && !reflect.DeepEqual(ref, fresh) {
-						t.Errorf("cached replay differs from fresh solve for %s", mode)
-					}
-				})
+					})
+				}
 			}
 		}
 	}

@@ -184,6 +184,12 @@ type Options struct {
 	// PC3 K)). Values at or above the largest class size make the
 	// quotient lossless.
 	CompressRedundancy int
+	// CompressConcreteVerify restores the pre-quotient-verify acceptance
+	// check for compressed sub-problems: every policy re-verified on the
+	// concretized state, instead of the quotient check plus deterministic
+	// concrete spot-check (see verifyOnQuotient). It is the differential
+	// oracle and A/B benchmark baseline for quotient-side verification.
+	CompressConcreteVerify bool
 	// Cache, when set, memoizes terminal sub-problem solves across Repair
 	// calls keyed by the sub-problem's full encoding fingerprint, and
 	// retains the live encoder/solver of each hit source. Hits replay
@@ -207,6 +213,12 @@ type Options struct {
 // defaultRetryAttempts is the per-sub-problem attempt bound under
 // isolation when Options.RetryAttempts is zero.
 const defaultRetryAttempts = 3
+
+// Workers resolves Options.Parallelism to a worker count: zero means
+// one worker per available core, negative means sequential. Callers
+// running their own verification fan-out use it to match the repair's
+// parallelism.
+func (o Options) Workers() int { return o.workerCount() }
 
 // workerCount resolves Options.Parallelism: zero means one worker per
 // available core, negative means sequential.
@@ -284,9 +296,20 @@ type ProblemStat struct {
 	// CompressFallback names the stage at which an attempted compression
 	// was abandoned for the uncompressed path ("quotient", "remap",
 	// "incompressible", "encode", "solve", "trivial", "concretize",
-	// "verify", or "panic"; empty when compression succeeded or was not
-	// attempted).
+	// "qverify", "spot-check", "verify", or "panic"; empty when
+	// compression succeeded or was not attempted).
 	CompressFallback string
+	// Per-stage wall-clock breakdown in nanoseconds, summed across
+	// isolated attempts. EncodeNs and SolveNs cover every solve path;
+	// HarcBuildNs (quotient HARC construction), ConcretizeNs (patch
+	// fan-out) and ReverifyNs (the quotient-verify/spot-check ladder, or
+	// the full concrete re-verification under CompressConcreteVerify) are
+	// populated only when compression was attempted.
+	HarcBuildNs  int64
+	EncodeNs     int64
+	SolveNs      int64
+	ConcretizeNs int64
+	ReverifyNs   int64
 	// Reused marks a sub-problem replayed from the session solve cache
 	// instead of solved fresh; all other counters (Vars, Conflicts,
 	// Solver, ...) are the original solve's, which a fresh solve would
@@ -331,6 +354,17 @@ type Result struct {
 	// the individual sub-problem durations (the paper's serial baseline).
 	Duration   time.Duration
 	Sequential time.Duration
+	// Orig is the pre-repair state the repair was computed against,
+	// exposed (read-only) so callers translating State into configuration
+	// patches need not recompute it.
+	Orig *harc.State
+	// Touched is the set of traffic-class keys whose state the repair may
+	// have altered: solved classes, every class of a solved destination,
+	// and all classes when the shared aETG changed. Policies on classes
+	// outside Touched were verified satisfied before the repair and their
+	// state is bit-identical to Orig's (waypoint additions only ever
+	// strengthen PC2), so VerifyRepairIncremental may skip them.
+	Touched map[string]bool
 }
 
 // Usable reports that at least one sub-problem produced a verified
@@ -342,6 +376,10 @@ type problem struct {
 	label    string
 	tcs      []topology.TrafficClass
 	policies []policy.Policy
+	// violated is the subset of policies violated before the repair —
+	// the reason the sub-problem exists. The compressed path's concrete
+	// spot-check always re-verifies exactly these.
+	violated []policy.Policy
 	freeze   bool
 	enc      *encoder
 	// realized is a construct-realized repair state staged for the serial
@@ -413,9 +451,15 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 	if opts.WaypointWeight == 0 {
 		opts.WaypointWeight = 1
 	}
-	orig := harc.StateOf(h)
+	var orig *harc.State
+	if !opts.DisableSolveCache {
+		orig = opts.Cache.OrigState(h)
+	}
+	if orig == nil {
+		orig = harc.StateOf(h)
+	}
 	out := orig.Clone()
-	res := &Result{State: out, Solved: true}
+	res := &Result{State: out, Solved: true, Orig: orig}
 
 	problems, err := buildProblems(h, policies, opts)
 	if err != nil {
@@ -504,7 +548,13 @@ func RepairCtx(ctx context.Context, h *harc.HARC, policies []policy.Policy, opts
 		}
 	}
 
-	applyFollowRules(h, orig, out, solvedDsts, solvedTCs)
+	allChanged := applyFollowRules(h, orig, out, solvedDsts, solvedTCs)
+	res.Touched = make(map[string]bool, len(solvedTCs))
+	for _, tc := range h.TCs {
+		if allChanged || solvedTCs[tc.Key()] || solvedDsts[tc.Dst.Name] {
+			res.Touched[tc.Key()] = true
+		}
+	}
 	res.Duration = time.Since(start)
 	if isolated {
 		if err := ctx.Err(); err != nil {
@@ -552,23 +602,28 @@ func buildProblems(h *harc.HARC, policies []policy.Policy, opts Options) ([]*pro
 				pc4Group = append(pc4Group, g...)
 				continue
 			}
-			if len(policy.Violations(h, g)) == 0 {
+			viol := policy.Violations(h, g)
+			if len(viol) == 0 {
 				continue // no violated policy for this destination
 			}
 			problems = append(problems, &problem{
 				label:    name,
 				tcs:      uniqueTCs(g),
 				policies: g,
+				violated: viol,
 				freeze:   true,
 			})
 		}
-		if len(pc4Group) > 0 && len(policy.Violations(h, pc4Group)) > 0 {
-			problems = append(problems, &problem{
-				label:    "pc4-merged",
-				tcs:      uniqueTCs(pc4Group),
-				policies: pc4Group,
-				freeze:   true,
-			})
+		if len(pc4Group) > 0 {
+			if viol := policy.Violations(h, pc4Group); len(viol) > 0 {
+				problems = append(problems, &problem{
+					label:    "pc4-merged",
+					tcs:      uniqueTCs(pc4Group),
+					policies: pc4Group,
+					violated: viol,
+					freeze:   true,
+				})
+			}
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown granularity %d", opts.Granularity)
@@ -635,6 +690,7 @@ func runFailFast(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.State
 				return
 			}
 			enc := newEncoder(tb, orig, pr.tcs, pr.policies, pr.freeze, opts)
+			te := time.Now()
 			if err := enc.encode(ctx); err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -643,7 +699,10 @@ func runFailFast(ctx context.Context, h *harc.HARC, tb *tables, orig *harc.State
 				mu.Unlock()
 				return
 			}
+			pr.stat.EncodeNs += time.Since(te).Nanoseconds()
+			ts := time.Now()
 			cost, status := enc.solve(ctx)
+			pr.stat.SolveNs += time.Since(ts).Nanoseconds()
 			pr.enc = enc
 			pr.stat.Vars = enc.s.NumVars()
 			pr.stat.Softs = len(enc.softs)
@@ -788,9 +847,12 @@ func solveOnce(ctx context.Context, tb *tables, orig *harc.State, pr *problem, b
 	o := opts
 	o.ConflictBudget = budget
 	enc = newEncoder(tb, orig, pr.tcs, pr.policies, pr.freeze, o)
+	te := time.Now()
 	if eerr := enc.encode(ctx); eerr != nil {
+		pr.stat.EncodeNs += time.Since(te).Nanoseconds()
 		return enc, 0, sat.Unknown, &SolveError{Label: pr.label, Phase: "encode", Attempt: attempt, Err: eerr}
 	}
+	pr.stat.EncodeNs += time.Since(te).Nanoseconds()
 	// Opt-in warm start: overlay the previous repair's model for this
 	// label on top of the original-state phase seeding (see
 	// Options.WarmStart for the byte-identity caveat).
@@ -800,7 +862,9 @@ func solveOnce(ctx context.Context, tb *tables, orig *harc.State, pr *problem, b
 		}
 	}
 	phase = "solve"
+	ts := time.Now()
 	cost, status = enc.solve(ctx)
+	pr.stat.SolveNs += time.Since(ts).Nanoseconds()
 	return enc, cost, status, nil
 }
 
@@ -1051,8 +1115,10 @@ func mergeRealized(h *harc.HARC, orig, out *harc.State, pr *problem) {
 // configuration changes), while an existing deviation (ACL, route
 // filter, static route) is preserved. This realizes the paper's
 // observation that destination-based routing makes parent changes apply
-// to all children by default.
-func applyFollowRules(h *harc.HARC, orig, out *harc.State, solvedDsts, solvedTCs map[string]bool) {
+// to all children by default. It reports whether the shared aETG
+// changed (the condition under which unsolved destinations were
+// rewritten), so the caller can bound the repair's blast radius.
+func applyFollowRules(h *harc.HARC, orig, out *harc.State, solvedDsts, solvedTCs map[string]bool) bool {
 	// Per-destination repairs freeze the aETG, so the parent level is
 	// usually untouched; skipping the propagation scans then keeps this
 	// pass O(solved destinations) instead of O(all traffic classes).
@@ -1100,14 +1166,70 @@ func applyFollowRules(h *harc.HARC, orig, out *harc.State, solvedDsts, solvedTCs
 			}
 		}
 	}
+	return allChanged
 }
 
 // VerifyRepair checks that every policy holds on the repaired state.
 func VerifyRepair(h *harc.HARC, st *harc.State, policies []policy.Policy) []policy.Policy {
+	return VerifyRepairIncremental(h, st, policies, nil, 1)
+}
+
+// VerifyRepairIncremental is VerifyRepair restricted to the policies a
+// repair could have affected: those whose traffic class (either class,
+// for isolation policies) is in touched. A nil touched set checks every
+// policy. Policies outside the set were verified satisfied before the
+// repair and their class state is untouched (see Result.Touched), so
+// skipping them loses nothing. Checks fan out over workers goroutines
+// in contiguous input-order chunks — same-class policies share a worker
+// and its cached per-class graphs — and the returned violations are in
+// input order regardless of parallelism.
+func VerifyRepairIncremental(h *harc.HARC, st *harc.State, policies []policy.Policy, touched map[string]bool, workers int) []policy.Policy {
+	need := make([]int, 0, len(policies))
+	for i, p := range policies {
+		if touched == nil || touched[p.TC.Key()] || (p.Kind == policy.Isolated && touched[p.TC2.Key()]) {
+			need = append(need, i)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(need) {
+		workers = len(need)
+	}
+	bad := make([]bool, len(need))
+	check := func(lo, hi int) {
+		checker := policy.NewStateChecker(h, st)
+		for j := lo; j < hi; j++ {
+			if !checker.Check(policies[need[j]]) {
+				bad[j] = true
+			}
+		}
+	}
+	if workers == 1 {
+		check(0, len(need))
+	} else {
+		chunk := (len(need) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(need); lo += chunk {
+			hi := lo + chunk
+			if hi > len(need) {
+				hi = len(need)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				check(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
 	var violated []policy.Policy
-	for _, p := range policies {
-		if !policy.CheckState(h, st, p) {
-			violated = append(violated, p)
+	for j, i := range need {
+		if bad[j] {
+			violated = append(violated, policies[i])
 		}
 	}
 	return violated

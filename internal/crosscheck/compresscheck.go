@@ -93,6 +93,40 @@ func CheckCompress(seed int64) error {
 		return fail("uncompressed repair did not solve a repairable instance")
 	}
 
+	// Differential oracle for the quotient-side verifier: compressed
+	// repairs accept concretized patches via quotient verification plus a
+	// concrete spot-check by default, while CompressConcreteVerify re-runs
+	// the full concrete check on every policy. The verifier only decides
+	// acceptance — never the patch itself — so the two modes must agree
+	// byte-for-byte on verdict, plan, and patched configurations.
+	optsCv := optsOn
+	optsCv.CompressConcreteVerify = true
+	outCv, err := sys.Repair(policies, optsCv)
+	if err != nil {
+		return fail("concrete-verify repair error: %v", err)
+	}
+	if outCv.Solved() != outOn.Solved() {
+		return fail("verify modes diverge on verdict: concrete solved=%v, quotient solved=%v",
+			outCv.Solved(), outOn.Solved())
+	}
+	if outCv.Result.Changes != outOn.Result.Changes {
+		return fail("verify modes diverge on cost: concrete %d changes, quotient %d",
+			outCv.Result.Changes, outOn.Result.Changes)
+	}
+	if outCv.Plan.String() != outOn.Plan.String() {
+		return fail("verify modes diverge on plan:\nconcrete:\n%s\nquotient:\n%s",
+			outCv.Plan, outOn.Plan)
+	}
+	if len(outCv.PatchedConfigs) != len(outOn.PatchedConfigs) {
+		return fail("verify modes diverge on patched config count: concrete %d, quotient %d",
+			len(outCv.PatchedConfigs), len(outOn.PatchedConfigs))
+	}
+	for host, text := range outOn.PatchedConfigs {
+		if outCv.PatchedConfigs[host] != text {
+			return fail("verify modes diverge on patched config for %s", host)
+		}
+	}
+
 	// Independent soundness check: the compressed patch, re-parsed from
 	// text and rebuilt from scratch, must satisfy every policy.
 	n2, ps2, err := loadPatched(outOn.PatchedConfigs, inst.Policies)

@@ -167,7 +167,10 @@ func FuzzRepair(f *testing.F) {
 }
 
 func FuzzCompress(f *testing.F) {
-	for seed := int64(1); seed <= 4; seed++ {
+	// Seeds 1-4 predate quotient-side verification; 5-8 widen the pinned
+	// band now that CheckCompress also cross-checks the quotient-verify
+	// accept path against the full concrete re-verify.
+	for seed := int64(1); seed <= 8; seed++ {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

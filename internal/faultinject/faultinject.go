@@ -73,6 +73,14 @@ const (
 	// mid-request. The fleet front tier's failover path is exercised
 	// against exactly this site.
 	ServerRepairAbort = "server/repair-abort"
+	// CoreQVerifyError fails the quotient-side verification of a
+	// compressed repair, forcing the "qverify" fallback to the
+	// uncompressed solve.
+	CoreQVerifyError = "core/qverify-error"
+	// CoreSpotCheckError fails the concrete spot-check of a
+	// quotient-verified compressed repair, forcing the "spot-check"
+	// fallback to the uncompressed solve.
+	CoreSpotCheckError = "core/spot-check-error"
 )
 
 // Sites lists every registered injection site, sorted.
@@ -83,6 +91,8 @@ func Sites() []string {
 		SATBudgetStarve,
 		CoreEncodeError,
 		CoreEncodeSlow,
+		CoreQVerifyError,
+		CoreSpotCheckError,
 		ServerCacheLoadError,
 		ServerDeltaError,
 		ServerRepairAbort,

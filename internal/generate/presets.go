@@ -28,6 +28,17 @@ var presets = map[string]func(seed int64) (*Instance, error){
 			BlockedFrac: 0.3, FullyBlockedDsts: 2, Violations: 8, Seed: seed,
 		})
 	},
+	// dc-512 doubles the leaf count of dc-256 at the same spine width and
+	// policy mix, so the refined partition (and thus the quotient-side
+	// repair cost) is identical while the concrete network — and with it
+	// any concrete-side verification work — doubles. The class count is
+	// pinned by TestPresetClassCounts.
+	"dc-512": func(seed int64) (*Instance, error) {
+		return DataCenter(DCOptions{
+			Name: "dc512", Routers: 512, Subnets: 64,
+			BlockedFrac: 0.3, FullyBlockedDsts: 2, Violations: 10, Seed: seed,
+		})
+	},
 }
 
 // PresetNames lists the available workload presets, sorted.

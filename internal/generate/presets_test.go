@@ -34,9 +34,11 @@ func TestPresetClassCounts(t *testing.T) {
 		// network quadruples.
 		{"fattree-k8", 11, 80, 13, 24},
 		{"fattree-k16", 11, 320, 13, 24},
-		// The leaf-spine DC collapses to spines, plain leaves, and the
-		// two endpoint leaves.
+		// The leaf-spine DCs collapse to spines, plain leaves, and the
+		// two endpoint leaves — the partition is scale-invariant, so
+		// dc-512 pins the same classes over twice the concrete devices.
 		{"dc-256", 11, 256, 4, 6},
+		{"dc-512", 11, 512, 4, 6},
 	}
 	for _, tc := range cases {
 		t.Run(tc.preset, func(t *testing.T) {

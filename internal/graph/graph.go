@@ -44,6 +44,22 @@ func New() *Digraph {
 	return &Digraph{index: make(map[string]V)}
 }
 
+// NewWithCap returns an empty digraph with storage preallocated for nv
+// vertices and ne edges. Capacities are hints: exceeding them is legal
+// and merely grows the backing storage. Callers that build many graphs
+// with known sizes (ETG construction) use this to avoid map rehashing
+// and slice regrowth on the hot path.
+func NewWithCap(nv, ne int) *Digraph {
+	return &Digraph{
+		names:   make([]string, 0, nv),
+		index:   make(map[string]V, nv),
+		edges:   make([]Edge, 0, ne),
+		removed: make([]bool, 0, ne),
+		out:     make([][]E, 0, nv),
+		in:      make([][]E, 0, nv),
+	}
+}
+
 // Clone returns a deep copy of g.
 func (g *Digraph) Clone() *Digraph {
 	c := &Digraph{

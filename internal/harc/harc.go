@@ -58,11 +58,78 @@ func BuildForTCs(n *topology.Network, tcs []topology.TrafficClass) *HARC {
 	h.A = arc.BuildAllETG(slots)
 	seen := map[string]bool{}
 	for _, tc := range tcs {
-		h.TC[tc.Key()] = arc.BuildTCETG(slots, tc)
 		if !seen[tc.Dst.Name] {
 			seen[tc.Dst.Name] = true
 			h.Dsts = append(h.Dsts, tc.Dst)
-			h.D[tc.Dst.Name] = arc.BuildDstETG(slots, tc.Dst)
+		}
+	}
+	// Each per-class and per-destination ETG is a pure function of the
+	// (immutable, key-precached) slot table, so they build concurrently
+	// over the same pool shape StateOf uses; the index maps are assembled
+	// serially in input order, keeping the HARC byte-identical to a
+	// sequential build.
+	tcOut := make([]*arc.ETG, len(tcs))
+	dstOut := make([]*arc.ETG, len(h.Dsts))
+	total := len(tcs) + len(h.Dsts)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if i < len(h.Dsts) {
+					dstOut[i] = arc.BuildDstETG(slots, h.Dsts[i])
+				} else {
+					tcOut[i-len(h.Dsts)] = arc.BuildTCETG(slots, tcs[i-len(h.Dsts)])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, dst := range h.Dsts {
+		h.D[dst.Name] = dstOut[i]
+	}
+	for i, tc := range tcs {
+		h.TC[tc.Key()] = tcOut[i]
+	}
+	return h
+}
+
+// BuildLite constructs the slot table and class/destination indexes of
+// a HARC without materializing any ETG — enough for StateOf and the
+// *FromState builders, which read only Slots and the indexes. Verifiers
+// that compare states (rather than graphs) use it to skip the dominant
+// cost of BuildForTCs.
+func BuildLite(n *topology.Network, tcs []topology.TrafficClass) *HARC {
+	slots := arc.Slots(n)
+	h := &HARC{
+		Network: n,
+		Slots:   slots,
+		ByKey:   make(map[string]*arc.Slot, len(slots)),
+		TCs:     tcs,
+		D:       make(map[string]*arc.ETG),
+		TC:      make(map[string]*arc.ETG),
+	}
+	for _, s := range slots {
+		h.ByKey[s.Key()] = s
+	}
+	seen := map[string]bool{}
+	for _, tc := range tcs {
+		if !seen[tc.Dst.Name] {
+			seen[tc.Dst.Name] = true
+			h.Dsts = append(h.Dsts, tc.Dst)
 		}
 	}
 	return h
@@ -260,6 +327,220 @@ func StateOf(h *HARC) *State {
 		st.TC[tc.Key()] = tcOut[i]
 	}
 	return st
+}
+
+// slotTouches reports whether a slot's presence can depend on the
+// configuration of any device in changed: its end processes' devices
+// and (for attachment slots) the attachment interface's device.
+func slotTouches(s *arc.Slot, changed map[string]bool) bool {
+	if s.FromProc != nil && changed[s.FromProc.Device.Name] {
+		return true
+	}
+	if s.ToProc != nil && changed[s.ToProc.Device.Name] {
+		return true
+	}
+	if s.Intf != nil && changed[s.Intf.Device.Name] {
+		return true
+	}
+	return false
+}
+
+// StateOfDelta computes StateOf(h) assuming base is the state of a HARC
+// whose network differs from h's only in the configurations of the
+// devices named in changed: slots touching a changed device are
+// recomputed from the slot rules, everything else is copied from base.
+// It returns nil — directing the caller to a full StateOf — whenever
+// the assumption is not checkable: base lacks a destination, class,
+// slot, link, cost, or construct key the new network has (the change
+// was structural, not just behavioral).
+//
+// Soundness rests on slot presence being a function of its end devices'
+// configurations and the subnet prefixes: every rule the slot evaluates
+// (route filters, ACLs, static routes, redistribution) lives in the
+// config of a device slotTouches covers. Prefix changes break that
+// locality — an ACL on an unchanged device matches against remote
+// prefixes — so callers must not use the delta path when any subnet's
+// prefix differs between the two networks (session.Delta enforces
+// this).
+func StateOfDelta(h *HARC, base *State, changed map[string]bool) *State {
+	if base == nil || len(changed) == 0 {
+		return nil
+	}
+	for _, dst := range h.Dsts {
+		if base.Dst[dst.Name] == nil {
+			return nil
+		}
+	}
+	for _, tc := range h.TCs {
+		if base.TC[tc.Key()] == nil {
+			return nil
+		}
+	}
+	st := NewState()
+	for _, s := range h.Slots {
+		key := s.Key()
+		t := slotTouches(s, changed)
+		if s.Kind != arc.SlotSource && s.Kind != arc.SlotDest {
+			if t {
+				st.All[key] = s.PresentAll()
+			} else if v, ok := base.All[key]; ok {
+				st.All[key] = v
+			} else {
+				return nil
+			}
+		}
+		if ck := CostKey(s); ck != "" {
+			if t {
+				st.Cost[ck] = int64(s.FromIntf.Cost)
+			} else if v, ok := base.Cost[ck]; ok {
+				st.Cost[ck] = v
+			} else {
+				return nil
+			}
+		}
+	}
+	for _, l := range h.Network.Links {
+		if changed[l.A.Device.Name] || changed[l.B.Device.Name] {
+			st.Waypoint[l.Name()] = l.Waypoint
+		} else if v, ok := base.Waypoint[l.Name()]; ok {
+			st.Waypoint[l.Name()] = v
+		} else {
+			return nil
+		}
+	}
+
+	type dstMaps struct {
+		m, rf, static map[string]bool
+	}
+	dstOut := make([]dstMaps, len(h.Dsts))
+	tcOut := make([]map[string]bool, len(h.TCs))
+	total := len(h.Dsts) + len(h.TCs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || failed.Load() {
+					return
+				}
+				ok := true
+				if i < len(h.Dsts) {
+					dst := h.Dsts[i]
+					dstOut[i].m, ok = stateOfDstDelta(h, base, dst, changed)
+					if ok {
+						dstOut[i].rf, dstOut[i].static, ok = stateOfConstructsDelta(h, base, dst, changed)
+					}
+				} else {
+					tcOut[i-len(h.Dsts)], ok = stateOfTCDelta(h, base, h.TCs[i-len(h.Dsts)], changed)
+				}
+				if !ok {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil
+	}
+	for i, dst := range h.Dsts {
+		st.Dst[dst.Name] = dstOut[i].m
+		for k, v := range dstOut[i].rf {
+			st.RouteFilter[k] = v
+		}
+		for k, v := range dstOut[i].static {
+			st.Static[k] = v
+		}
+	}
+	for i, tc := range h.TCs {
+		st.TC[tc.Key()] = tcOut[i]
+	}
+	return st
+}
+
+// stateOfDstDelta is stateOfDst with unchanged slots copied from base.
+func stateOfDstDelta(h *HARC, base *State, dst *topology.Subnet, changed map[string]bool) (map[string]bool, bool) {
+	bm := base.Dst[dst.Name]
+	m := make(map[string]bool, len(bm))
+	for _, s := range h.Slots {
+		if s.Kind == arc.SlotSource {
+			continue
+		}
+		if s.Kind == arc.SlotDest && s.Subnet != dst {
+			continue
+		}
+		key := s.Key()
+		if slotTouches(s, changed) {
+			m[key] = s.PresentDst(dst)
+		} else if v, ok := bm[key]; ok {
+			m[key] = v
+		} else {
+			return nil, false
+		}
+	}
+	return m, true
+}
+
+// stateOfConstructsDelta is stateOfConstructs with unchanged slots
+// copied from base.
+func stateOfConstructsDelta(h *HARC, base *State, dst *topology.Subnet, changed map[string]bool) (rf, static map[string]bool, ok bool) {
+	rf = make(map[string]bool)
+	static = make(map[string]bool)
+	for _, s := range h.Slots {
+		switch s.Kind {
+		case arc.SlotIntraSelf:
+			key := RFKey(dst.Name, s.FromProc.Name())
+			if slotTouches(s, changed) {
+				rf[key] = s.FromProc.BlocksDestination(dst.Prefix)
+			} else if v, ok := base.RouteFilter[key]; ok {
+				rf[key] = v
+			} else {
+				return nil, nil, false
+			}
+		case arc.SlotInterDevice:
+			key := StaticKey(dst.Name, s.Key())
+			if slotTouches(s, changed) {
+				static[key] = s.StaticBacked(dst) != nil
+			} else if v, ok := base.Static[key]; ok {
+				static[key] = v
+			} else {
+				return nil, nil, false
+			}
+		}
+	}
+	return rf, static, true
+}
+
+// stateOfTCDelta is stateOfTC with unchanged slots copied from base.
+func stateOfTCDelta(h *HARC, base *State, tc topology.TrafficClass, changed map[string]bool) (map[string]bool, bool) {
+	bm := base.TC[tc.Key()]
+	m := make(map[string]bool, len(bm))
+	for _, s := range h.Slots {
+		if s.Kind == arc.SlotSource && s.Subnet != tc.Src {
+			continue
+		}
+		if s.Kind == arc.SlotDest && s.Subnet != tc.Dst {
+			continue
+		}
+		key := s.Key()
+		if slotTouches(s, changed) {
+			m[key] = s.PresentTC(tc)
+		} else if v, ok := bm[key]; ok {
+			m[key] = v
+		} else {
+			return nil, false
+		}
+	}
+	return m, true
 }
 
 // stateOfDst computes one destination's dETG presence map.

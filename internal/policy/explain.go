@@ -80,44 +80,13 @@ func Explain(h *harc.HARC, p Policy) (witness string, ok bool) {
 	return "", false
 }
 
-// findKFailure searches for a set of fewer than k failed links that
-// disconnects SRC from DST; found=false means the policy holds.
+// findKFailure returns a minimum-cardinality set of fewer than k failed
+// links that disconnects SRC from DST (the most informative witness);
+// found=false means the policy holds. The witness comes from the min-cut
+// side of the same link-disjoint max-flow that decides PC3, so explaining
+// a violation costs the same as verifying it.
 func findKFailure(e *arc.ETG, n *topology.Network, k int) (links []*topology.Link, found bool) {
-	if k < 1 {
-		return nil, false
-	}
-	if !e.G.PathExists(e.Src, e.Dst) {
-		return nil, true
-	}
-	failed := make(map[*topology.Link]bool)
-	var rec func(start, remaining int) []*topology.Link
-	rec = func(start, remaining int) []*topology.Link {
-		if remaining == 0 {
-			if !e.WithoutLinks(failed).G.PathExists(e.Src, e.Dst) {
-				out := make([]*topology.Link, 0, len(failed))
-				for l := range failed {
-					out = append(out, l)
-				}
-				return out
-			}
-			return nil
-		}
-		for i := start; i <= len(n.Links)-remaining; i++ {
-			failed[n.Links[i]] = true
-			if bad := rec(i+1, remaining-1); bad != nil {
-				return bad
-			}
-			delete(failed, n.Links[i])
-		}
-		return nil
-	}
-	// Try smaller failure sets first for the most informative witness.
-	for size := 1; size <= k-1; size++ {
-		if bad := rec(0, size); bad != nil {
-			return bad, true
-		}
-	}
-	return nil, false
+	return arc.MinLinkCut(e, k)
 }
 
 // devicePath renders an ETG vertex path as "SRC -> A -> B -> DST".

@@ -439,6 +439,15 @@ type RepairProblem struct {
 	DeviceClasses    int     `json:"device_classes,omitempty"`
 	CompressRatio    float64 `json:"compress_ratio,omitempty"`
 	CompressFallback string  `json:"compress_fallback,omitempty"`
+	// Per-stage wall-clock breakdown (milliseconds): HARC/quotient
+	// construction, MaxSMT encode, SAT solve, patch concretization, and
+	// post-patch re-verification. Stages a sub-problem never entered are
+	// omitted.
+	HarcBuildMS  float64 `json:"harc_build_ms,omitempty"`
+	EncodeMS     float64 `json:"encode_ms,omitempty"`
+	SolveMS      float64 `json:"solve_ms,omitempty"`
+	ConcretizeMS float64 `json:"concretize_ms,omitempty"`
+	ReverifyMS   float64 `json:"reverify_ms,omitempty"`
 }
 
 // RepairResponse is the POST /v1/repair reply.
@@ -578,10 +587,17 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			DeviceClasses:    st.DeviceClasses,
 			CompressRatio:    st.CompressRatio,
 			CompressFallback: st.CompressFallback,
+
+			HarcBuildMS:  float64(st.HarcBuildNs) / 1e6,
+			EncodeMS:     float64(st.EncodeNs) / 1e6,
+			SolveMS:      float64(st.SolveNs) / 1e6,
+			ConcretizeMS: float64(st.ConcretizeNs) / 1e6,
+			ReverifyMS:   float64(st.ReverifyNs) / 1e6,
 		})
 	}
 	s.stats.recordOutcomes(solvedProblems, out.Result.Degraded, out.Result.Failed, out.Result.Reused)
 	s.stats.recordCompression(out.Result.Compressed, out.Result.CompressFallbacks)
+	s.stats.recordStages(out.Result.Stats)
 	writeJSON(w, http.StatusOK, resp)
 }
 

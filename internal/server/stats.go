@@ -78,6 +78,16 @@ type stats struct {
 	dstCompressed        int64
 	dstCompressFallbacks int64
 
+	// Per-stage wall-clock totals (nanoseconds) summed across every
+	// sub-problem of every completed solve: where repair time actually
+	// goes (HARC builds vs. encode vs. SAT search vs. concretize vs.
+	// re-verify).
+	stageHarcBuildNs  int64
+	stageEncodeNs     int64
+	stageSolveNs      int64
+	stageConcretizeNs int64
+	stageReverifyNs   int64
+
 	endpoints map[string]*histogram
 }
 
@@ -172,6 +182,20 @@ func (st *stats) recordCompression(compressed, fallbacks int) {
 	st.mu.Lock()
 	st.dstCompressed += int64(compressed)
 	st.dstCompressFallbacks += int64(fallbacks)
+	st.mu.Unlock()
+}
+
+// recordStages accumulates one repair's per-stage wall-clock split
+// across its sub-problems.
+func (st *stats) recordStages(problems []core.ProblemStat) {
+	st.mu.Lock()
+	for _, p := range problems {
+		st.stageHarcBuildNs += p.HarcBuildNs
+		st.stageEncodeNs += p.EncodeNs
+		st.stageSolveNs += p.SolveNs
+		st.stageConcretizeNs += p.ConcretizeNs
+		st.stageReverifyNs += p.ReverifyNs
+	}
 	st.mu.Unlock()
 }
 
@@ -301,6 +325,16 @@ type Statsz struct {
 		Compressed        int64 `json:"compressed"`
 		CompressFallbacks int64 `json:"compress_fallbacks"`
 	} `json:"destinations"`
+	// Stages breaks repair wall-clock down by pipeline stage
+	// (milliseconds summed across every sub-problem of every completed
+	// solve).
+	Stages struct {
+		HarcBuildMS  float64 `json:"harc_build_ms"`
+		EncodeMS     float64 `json:"encode_ms"`
+		SolveMS      float64 `json:"solve_ms"`
+		ConcretizeMS float64 `json:"concretize_ms"`
+		ReverifyMS   float64 `json:"reverify_ms"`
+	} `json:"stages"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -340,6 +374,11 @@ func (st *stats) snapshot(sessions int, retained core.SolveCacheStats) Statsz {
 	out.Destinations.Reused = st.dstReused
 	out.Destinations.Compressed = st.dstCompressed
 	out.Destinations.CompressFallbacks = st.dstCompressFallbacks
+	out.Stages.HarcBuildMS = float64(st.stageHarcBuildNs) / 1e6
+	out.Stages.EncodeMS = float64(st.stageEncodeNs) / 1e6
+	out.Stages.SolveMS = float64(st.stageSolveNs) / 1e6
+	out.Stages.ConcretizeMS = float64(st.stageConcretizeNs) / 1e6
+	out.Stages.ReverifyMS = float64(st.stageReverifyNs) / 1e6
 	out.Endpoints = make(map[string]EndpointStats, len(st.endpoints))
 	for name, h := range st.endpoints {
 		es := EndpointStats{Count: h.Count, SumMS: h.SumMS, BucketsMS: make(map[string]int64, len(h.Buckets))}
