@@ -178,15 +178,59 @@ func BenchmarkAblationGranularityAllTCs(b *testing.B) {
 	benchDCRepair(b, opts)
 }
 
-// MaxSAT algorithm ablation (linear descent vs core-guided Fu-Malik).
+// MaxSAT algorithm ablation (linear descent vs core-guided Fu-Malik vs
+// stratified OLL, the default).
 func BenchmarkAblationMaxSATLinear(b *testing.B) {
-	benchDCRepair(b, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Algorithm = maxsat.LinearDescent
+	benchDCRepair(b, opts)
 }
 
 func BenchmarkAblationMaxSATFuMalik(b *testing.B) {
 	opts := core.DefaultOptions()
 	opts.Algorithm = maxsat.FuMalik
 	benchDCRepair(b, opts)
+}
+
+func BenchmarkAblationMaxSATOLL(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Algorithm = maxsat.OLL
+	benchDCRepair(b, opts)
+}
+
+// benchDC256SolveStage repairs the broken dc-256 preset — the
+// solve-stage-dominated workload — and reports the SAT-solve stage's
+// share (summed SolveNs across sub-problems) as solve-ns/op alongside
+// the end-to-end time. The OLL/Linear pair is the core-guided engine's
+// headline speedup evidence in BENCH_baseline.json.
+func benchDC256SolveStage(b *testing.B, algo maxsat.Algorithm) {
+	inst, err := generate.Preset("dc-256", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := inst.Harc()
+	opts := core.DefaultOptions()
+	opts.Algorithm = algo
+	var solveNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Repair(h, inst.Policies, opts)
+		if err != nil || !res.Solved {
+			b.Fatalf("repair failed: %v", err)
+		}
+		for _, st := range res.Stats {
+			solveNs += st.SolveNs
+		}
+	}
+	b.ReportMetric(float64(solveNs)/float64(b.N), "solve-ns/op")
+}
+
+func BenchmarkRepairDC256SolveStageOLL(b *testing.B) {
+	benchDC256SolveStage(b, maxsat.OLL)
+}
+
+func BenchmarkRepairDC256SolveStageLinear(b *testing.B) {
+	benchDC256SolveStage(b, maxsat.LinearDescent)
 }
 
 // Parallel per-destination solving (the "10 problems in parallel" claim).

@@ -35,7 +35,7 @@ func main() {
 		verifyOnly = flag.Bool("verify", false, "verify only; do not repair")
 		showStats  = flag.Bool("stats", true, "print per-problem and solver statistics after a repair")
 		granFlag   = flag.String("granularity", "per-dst", "MaxSMT granularity: per-dst or all-tcs")
-		algoFlag   = flag.String("algorithm", "linear", "MaxSAT algorithm: linear or fu-malik")
+		algoFlag   = flag.String("algorithm", "oll", "MaxSAT algorithm: oll, linear, or fu-malik")
 		objFlag    = flag.String("objective", "min-lines", "minimality objective: min-lines or min-devices")
 		parallel   = flag.Int("parallel", 0, "parallel per-destination solves (0 = one per core)")
 		budget     = flag.Int64("budget", 0, "SAT conflict budget per problem (0 = unlimited)")
@@ -201,6 +201,8 @@ func printStats(res *core.Result) {
 	fmt.Printf("solver: conflicts=%d decisions=%d propagations=%d (binary %d) restarts=%d learned-lits=%d db-reductions=%d arena-gcs=%d\n",
 		sv.Conflicts, sv.Decisions, sv.Propagations, sv.BinaryProps,
 		sv.Restarts, sv.LearnedLits, sv.DBReductions, sv.ArenaGCs)
+	fmt.Printf("maxsat: assumption-solves=%d cores=%d totalizer-vars=%d hardened-softs=%d\n",
+		sv.AssumpSolves, sv.CoresExtracted, sv.TotalizerVars, sv.HardenedSofts)
 }
 
 // stageBreakdown renders a sub-problem's per-stage wall-clock split

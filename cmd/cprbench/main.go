@@ -37,13 +37,16 @@ import (
 // paths, the symmetry-compression speedup pair on the broken
 // fattree-k8 preset plus the quotient-build micro-benchmark, the
 // quotient-side vs concrete patch-verification pair with the
-// incremental-state micro-benchmarks behind it, and the SAT-core
+// incremental-state micro-benchmarks behind it, the SAT-core
 // microbenchmarks (conflict-heavy search, incremental assumptions, and
-// learned-clause reduction with arena GC).
-const HeadlineBenchmarks = "BenchmarkTable2RepairEncodingFig2a$|BenchmarkAblationGranularityPerDst$|BenchmarkServerRepairWarm$|BenchmarkServerRepairChurn$|BenchmarkCompressRepairFatTreeOn$|BenchmarkCompressRepairFatTreeOff$|BenchmarkCompressQuotientBuild$|BenchmarkCompressVerifyQuotientOn$|BenchmarkCompressVerifyQuotientOff$|BenchmarkHarcStateOfDelta$|BenchmarkHarcStateOfFull$|BenchmarkSATPigeonhole$|BenchmarkSATIncrementalAssumptions$|BenchmarkSATReduceAndGC$"
+// learned-clause reduction with arena GC), the MaxSAT engine pair
+// (core-guided OLL vs linear descent), and the solve-stage-dominated
+// dc-256 repair pair whose solve-ns/op metric is the OLL speedup
+// evidence.
+const HeadlineBenchmarks = "BenchmarkTable2RepairEncodingFig2a$|BenchmarkAblationGranularityPerDst$|BenchmarkServerRepairWarm$|BenchmarkServerRepairChurn$|BenchmarkCompressRepairFatTreeOn$|BenchmarkCompressRepairFatTreeOff$|BenchmarkCompressQuotientBuild$|BenchmarkCompressVerifyQuotientOn$|BenchmarkCompressVerifyQuotientOff$|BenchmarkHarcStateOfDelta$|BenchmarkHarcStateOfFull$|BenchmarkSATPigeonhole$|BenchmarkSATIncrementalAssumptions$|BenchmarkSATReduceAndGC$|BenchmarkMaxSATOLL$|BenchmarkMaxSATLinear$|BenchmarkMaxSATWeightedOLL$|BenchmarkMaxSATWeightedLinear$|BenchmarkRepairDC256SolveStageOLL$|BenchmarkRepairDC256SolveStageLinear$"
 
 // HeadlinePackages are the packages holding the headline benchmarks.
-const HeadlinePackages = "repro,repro/internal/compress,repro/internal/smt/sat"
+const HeadlinePackages = "repro,repro/internal/compress,repro/internal/smt/sat,repro/internal/smt/maxsat"
 
 // Snapshot is the JSON shape of BENCH_baseline.json.
 type Snapshot struct {
@@ -61,11 +64,14 @@ type Snapshot struct {
 	Benchmarks map[string]*Series `json:"benchmarks"`
 }
 
-// Series collects one benchmark's per-run measurements.
+// Series collects one benchmark's per-run measurements. SolveNsPerOp
+// is the repair benchmarks' custom solve-stage metric (time spent in
+// MaxSAT search, excluding encode/concretize/verify).
 type Series struct {
-	NsPerOp     []float64 `json:"ns_per_op"`
-	BytesPerOp  []float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp []float64 `json:"allocs_per_op,omitempty"`
+	NsPerOp      []float64 `json:"ns_per_op"`
+	BytesPerOp   []float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  []float64 `json:"allocs_per_op,omitempty"`
+	SolveNsPerOp []float64 `json:"solve_ns_per_op,omitempty"`
 }
 
 var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
@@ -134,6 +140,8 @@ func run(bench, benchtime, pkg, out string, count int) error {
 				s.BytesPerOp = append(s.BytesPerOp, v)
 			case "allocs/op":
 				s.AllocsPerOp = append(s.AllocsPerOp, v)
+			case "solve-ns/op":
+				s.SolveNsPerOp = append(s.SolveNsPerOp, v)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/generate"
 	"repro/internal/harc"
 	"repro/internal/policy"
+	"repro/internal/smt/maxsat"
 )
 
 // determinismFixture is a corpus network with several violated
@@ -153,6 +154,54 @@ func TestRepairDeterministicAcrossParallelism(t *testing.T) {
 					})
 				}
 			}
+		}
+	}
+}
+
+// TestRepairDeterministicAcrossAlgorithmsAndParallelism extends the
+// parallelism contract across the MaxSAT engine grid: within one
+// algorithm the repair must be byte-identical at every Parallelism
+// setting, and across algorithms — which may land on different
+// equally-minimal models — the total cost (violated softs, i.e. modeled
+// configuration changes) must agree and every repaired state must
+// verify.
+func TestRepairDeterministicAcrossAlgorithmsAndParallelism(t *testing.T) {
+	h, ps := determinismFixture(t)
+	costs := map[maxsat.Algorithm]int{}
+	for _, algo := range []maxsat.Algorithm{maxsat.LinearDescent, maxsat.FuMalik, maxsat.OLL} {
+		t.Run(algo.String(), func(t *testing.T) {
+			var ref comparableResult
+			for i, par := range []int{1, 3, 0} {
+				opts := DefaultOptions()
+				opts.Algorithm = algo
+				opts.Parallelism = par
+				res, err := Repair(h, ps, opts)
+				if err != nil {
+					t.Fatalf("Repair(%v, parallelism=%d): %v", algo, par, err)
+				}
+				if !res.Solved {
+					t.Fatalf("Repair(%v, parallelism=%d) unsolved: %+v", algo, par, res.Stats)
+				}
+				if bad := VerifyRepair(h, res.State, ps); len(bad) != 0 {
+					t.Fatalf("Repair(%v, parallelism=%d) still violates %v", algo, par, bad)
+				}
+				got := project(res)
+				if i == 0 {
+					ref = got
+					for _, st := range res.Stats {
+						costs[algo] += st.Violations
+					}
+					continue
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("%v: parallelism=%d differs from parallelism=1", algo, par)
+				}
+			}
+		})
+	}
+	for _, algo := range []maxsat.Algorithm{maxsat.FuMalik, maxsat.OLL} {
+		if costs[algo] != costs[maxsat.LinearDescent] {
+			t.Errorf("%v repair cost %d != linear %d", algo, costs[algo], costs[maxsat.LinearDescent])
 		}
 	}
 }

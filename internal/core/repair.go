@@ -242,7 +242,7 @@ const budgetEscalation = 4
 func DefaultOptions() Options {
 	return Options{
 		Granularity: PerDst,
-		Algorithm:   maxsat.LinearDescent,
+		Algorithm:   maxsat.OLL,
 		Parallelism: 0, // all available cores
 
 		CostBits:             4,

@@ -70,11 +70,12 @@ func bruteMaxSAT(p *dimacs.Problem) (best int, ok bool) {
 	return best, ok
 }
 
-// checkWCNF cross-checks one instance against both exact algorithms and
-// through a WCNF round trip; it returns the first divergence, or "".
+// checkWCNF cross-checks one instance against all three exact
+// algorithms and through a WCNF round trip; it returns the first
+// divergence, or "".
 func checkWCNF(p *dimacs.Problem) string {
 	wantCost, wantSat := bruteMaxSAT(p)
-	for _, algo := range []maxsat.Algorithm{maxsat.LinearDescent, maxsat.FuMalik} {
+	for _, algo := range []maxsat.Algorithm{maxsat.LinearDescent, maxsat.FuMalik, maxsat.OLL} {
 		s, selectors := p.Load()
 		res := maxsat.SolveWeighted(s, selectors, p.Weights, algo)
 		if !wantSat {
@@ -170,19 +171,65 @@ func minimizeWCNF(p *dimacs.Problem) *dimacs.Problem {
 	return cur
 }
 
-// CheckMaxSAT runs the MaxSAT optimality oracle for one seed. A non-nil
-// error is a *Divergence carrying a minimized WCNF reproducer.
+// genLargeWCNF draws a weighted instance too big for brute-force model
+// enumeration but where exact engines can still be cross-checked against
+// each other: 16..27 variables, clause width up to 3.
+func genLargeWCNF(rng *rand.Rand) *dimacs.Problem {
+	nVars := 16 + rng.Intn(12)
+	p := &dimacs.Problem{NumVars: nVars}
+	nHard := rng.Intn(3 * nVars)
+	for i := 0; i < nHard; i++ {
+		p.Hard = append(p.Hard, randClause(rng, nVars, 1+rng.Intn(3)))
+	}
+	nSoft := 1 + rng.Intn(2*nVars)
+	for i := 0; i < nSoft; i++ {
+		p.Soft = append(p.Soft, randClause(rng, nVars, 1+rng.Intn(2)))
+		p.Weights = append(p.Weights, 1+rng.Intn(4))
+	}
+	return p
+}
+
+// checkEqualCost solves one instance with linear descent and OLL and
+// demands an identical status and optimum — the scalable half of the
+// oracle, used where brute force cannot reach.
+func checkEqualCost(p *dimacs.Problem) string {
+	s1, sel1 := p.Load()
+	ref := maxsat.SolveWeighted(s1, sel1, p.Weights, maxsat.LinearDescent)
+	s2, sel2 := p.Load()
+	got := maxsat.SolveWeighted(s2, sel2, p.Weights, maxsat.OLL)
+	if ref.Status != got.Status {
+		return fmt.Sprintf("oll status %v, linear %v", got.Status, ref.Status)
+	}
+	if ref.Status == sat.Sat && ref.Cost != got.Cost {
+		return fmt.Sprintf("oll cost %d, linear %d", got.Cost, ref.Cost)
+	}
+	return ""
+}
+
+// CheckMaxSAT runs the MaxSAT optimality oracle for one seed: a small
+// instance checked against the brute-force optimum with every engine,
+// then a larger instance where OLL must match linear descent's optimum
+// exactly. A non-nil error is a *Divergence carrying a minimized WCNF
+// reproducer.
 func CheckMaxSAT(seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	p := genWCNF(rng)
-	detail := checkWCNF(p)
-	if detail == "" {
-		return nil
+	if detail := checkWCNF(p); detail != "" {
+		min := minimizeWCNF(p)
+		var buf bytes.Buffer
+		_ = min.Print(&buf)
+		d := divf("maxsat", seed, "%s (minimized to %d hard, %d soft)", detail, len(min.Hard), len(min.Soft))
+		d.Files = map[string]string{"instance.wcnf": buf.String()}
+		return d
 	}
-	min := minimizeWCNF(p)
-	var buf bytes.Buffer
-	_ = min.Print(&buf)
-	d := divf("maxsat", seed, "%s (minimized to %d hard, %d soft)", detail, len(min.Hard), len(min.Soft))
-	d.Files = map[string]string{"instance.wcnf": buf.String()}
-	return d
+	big := genLargeWCNF(rng)
+	if detail := checkEqualCost(big); detail != "" {
+		var buf bytes.Buffer
+		_ = big.Print(&buf)
+		d := divf("maxsat", seed, "large instance: %s (%d vars, %d hard, %d soft)",
+			detail, big.NumVars, len(big.Hard), len(big.Soft))
+		d.Files = map[string]string{"instance.wcnf": buf.String()}
+		return d
+	}
+	return nil
 }

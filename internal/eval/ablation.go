@@ -62,10 +62,15 @@ func Ablation(ctx *Context) (*Report, error) {
 		name string
 		opts func() core.Options
 	}{
-		{"per-dst/linear (default)", core.DefaultOptions},
-		{"all-tcs/linear", func() core.Options {
+		{"per-dst/oll (default)", core.DefaultOptions},
+		{"all-tcs/oll", func() core.Options {
 			o := core.DefaultOptions()
 			o.Granularity = core.AllTCs
+			return o
+		}},
+		{"per-dst/linear", func() core.Options {
+			o := core.DefaultOptions()
+			o.Algorithm = maxsat.LinearDescent
 			return o
 		}},
 		{"per-dst/fu-malik", func() core.Options {

@@ -143,9 +143,9 @@ func TestAblationGreedyNotBelowOptimal(t *testing.T) {
 		t.Fatalf("ablation report has no %q row", variant)
 		return 0, false
 	}
-	opt, optHolds := changes("all-tcs/linear")
+	opt, optHolds := changes("all-tcs/oll")
 	if !optHolds {
-		t.Fatalf("all-tcs/linear repair does not satisfy the specification")
+		t.Fatalf("all-tcs/oll repair does not satisfy the specification")
 	}
 	greedyN, greedyHolds := changes("greedy baseline (§5)")
 	if greedyHolds && greedyN < opt {

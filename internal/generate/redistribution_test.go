@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harc"
 	"repro/internal/policy"
+	"repro/internal/smt/maxsat"
 	"repro/internal/topology"
 	"repro/internal/translate"
 )
@@ -110,6 +111,13 @@ func TestRedistributionRepair(t *testing.T) {
 		}
 		opts := core.DefaultOptions()
 		opts.Granularity = gran
+		// Pin the linear engine: the instance has two equal-cost optima
+		// (enable redistribution vs. add static routes), and which one a
+		// MaxSAT engine's deterministic search lands on is a tie-break.
+		// Linear descent finds the redistribution repair this test is
+		// about; TestRedistributionRepairCostAcrossAlgorithms below checks
+		// every engine agrees on the cost.
+		opts.Algorithm = maxsat.LinearDescent
 		res, err := core.Repair(h, ps, opts)
 		if err != nil {
 			t.Fatalf("%v: %v", gran, err)
@@ -141,5 +149,42 @@ func TestRedistributionRepair(t *testing.T) {
 			t.Errorf("%v: rebuilt network violates %v; plan:\n%s", gran, bad, text)
 		}
 		t.Logf("%v (%d lines):\n%s", gran, plan.NumLines(), text)
+	}
+}
+
+// TestRedistributionRepairCostAcrossAlgorithms: the redistribution
+// instance has several equal-cost optima, and the engines may land on
+// different ones — but every exact engine must agree on the optimum
+// cost, and every repair must verify.
+func TestRedistributionRepairCostAcrossAlgorithms(t *testing.T) {
+	costs := map[maxsat.Algorithm]int{}
+	for _, algo := range []maxsat.Algorithm{maxsat.LinearDescent, maxsat.FuMalik, maxsat.OLL} {
+		_, n := loadRedistribution(t)
+		h := harc.Build(n)
+		tc := topology.TrafficClass{Src: n.Subnet("NET1"), Dst: n.Subnet("NET2")}
+		rev := topology.TrafficClass{Src: n.Subnet("NET2"), Dst: n.Subnet("NET1")}
+		ps := []policy.Policy{
+			{Kind: policy.KReachable, K: 1, TC: tc},
+			{Kind: policy.KReachable, K: 1, TC: rev},
+		}
+		opts := core.DefaultOptions()
+		opts.Granularity = core.AllTCs
+		opts.Algorithm = algo
+		res, err := core.Repair(h, ps, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !res.Solved {
+			t.Fatalf("%v: unsolved", algo)
+		}
+		if bad := core.VerifyRepair(h, res.State, ps); len(bad) != 0 {
+			t.Fatalf("%v: still violates %v", algo, bad)
+		}
+		for _, st := range res.Stats {
+			costs[algo] += st.Violations
+		}
+	}
+	if costs[maxsat.OLL] != costs[maxsat.LinearDescent] || costs[maxsat.FuMalik] != costs[maxsat.LinearDescent] {
+		t.Fatalf("engines disagree on the optimum: %v", costs)
 	}
 }

@@ -309,6 +309,13 @@ type Statsz struct {
 		LearnedLits  int64 `json:"learned_lits"`
 		DBReductions int64 `json:"db_reductions"`
 		ArenaGCs     int64 `json:"arena_gcs"`
+		// Core-guided MaxSAT counters: assumption solves, UNSAT cores
+		// extracted, incremental-totalizer variables materialized, and
+		// softs hardened by stratified bound reasoning.
+		AssumpSolves   int64 `json:"assump_solves"`
+		CoresExtracted int64 `json:"cores_extracted"`
+		TotalizerVars  int64 `json:"totalizer_vars"`
+		HardenedSofts  int64 `json:"hardened_softs"`
 	} `json:"solver"`
 	// Destinations counts per-destination sub-problem outcomes under
 	// fault isolation, summed across completed solves.
@@ -368,6 +375,10 @@ func (st *stats) snapshot(sessions int, retained core.SolveCacheStats) Statsz {
 	out.Solver.LearnedLits = st.solver.LearnedLits
 	out.Solver.DBReductions = st.solver.DBReductions
 	out.Solver.ArenaGCs = st.solver.ArenaGCs
+	out.Solver.AssumpSolves = st.solver.AssumpSolves
+	out.Solver.CoresExtracted = st.solver.CoresExtracted
+	out.Solver.TotalizerVars = st.solver.TotalizerVars
+	out.Solver.HardenedSofts = st.solver.HardenedSofts
 	out.Destinations.Solved = st.dstSolved
 	out.Destinations.Degraded = st.dstDegraded
 	out.Destinations.Failed = st.dstFailed

@@ -1,0 +1,163 @@
+// Package card provides incremental cardinality encodings over SAT
+// literals. Its one export, Totalizer, is the totalizer of Bailleux &
+// Boufkhad built the way incremental MaxSAT engines need it (Martins et
+// al., "Incremental Cardinality Constraints for MaxSAT", CP 2014): the
+// counting tree is laid out once, but output variables and clauses are
+// materialized lazily, bound by bound, against the live solver — so a
+// core-guided descent that discovers it needs "count ≤ k+1" after
+// having encoded "count ≤ k" pays only for the new layer instead of
+// re-encoding the whole constraint.
+//
+// Only the input→output direction is encoded ("at least k inputs true
+// implies output k"), which is exactly what upper-bounding uses: assume
+// ¬AtLeast(k+1) to enforce "at most k". Outputs beyond the materialized
+// bound collapse onto the bound's output, which keeps every extension
+// sound (a collapsed clause forces a weaker "at least" output that is
+// still implied) while Extend adds the sharper clauses the new bound
+// needs.
+package card
+
+import "repro/internal/smt/sat"
+
+// tnode is one node of the counting tree. Leaves carry the input
+// literal itself as their single output; internal nodes materialize
+// outs[k-1] ⇔ "at least k of this subtree's inputs are true" up to the
+// totalizer's current bound.
+type tnode struct {
+	left, right int // child indices into Totalizer.nodes; -1 for leaves
+	size        int // inputs under this subtree
+	outs        []sat.Lit
+}
+
+// Totalizer is an incremental totalizer over a fixed input set on a
+// live solver. New lays out the tree without touching the solver;
+// Extend materializes counting outputs and clauses up to a bound,
+// strictly monotonically — clauses added for earlier bounds are never
+// re-emitted. All materialization is deterministic: fresh variables are
+// created in post-order tree walks, so two runs over the same solver
+// state produce identical clause databases.
+type Totalizer struct {
+	s     *sat.Solver
+	nodes []tnode
+	root  int
+	n     int // number of inputs
+	bound int // outputs materialized per node up to min(size, bound)
+	vars  int // fresh output variables created so far
+}
+
+// New lays out a totalizer over inputs. It adds no variables or clauses
+// until Extend is called. Panics on an empty input set.
+func New(s *sat.Solver, inputs []sat.Lit) *Totalizer {
+	if len(inputs) == 0 {
+		panic("card: totalizer over zero inputs")
+	}
+	t := &Totalizer{s: s, n: len(inputs)}
+	t.root = t.build(inputs)
+	return t
+}
+
+// build recursively lays out the balanced counting tree, returning the
+// subtree's node index. Leaves are materialized immediately (their only
+// output is the input literal itself — no encoding needed).
+func (t *Totalizer) build(inputs []sat.Lit) int {
+	if len(inputs) == 1 {
+		t.nodes = append(t.nodes, tnode{left: -1, right: -1, size: 1, outs: []sat.Lit{inputs[0]}})
+		return len(t.nodes) - 1
+	}
+	mid := len(inputs) / 2
+	l := t.build(inputs[:mid])
+	r := t.build(inputs[mid:])
+	t.nodes = append(t.nodes, tnode{left: l, right: r, size: len(inputs)})
+	return len(t.nodes) - 1
+}
+
+// Len returns the number of inputs.
+func (t *Totalizer) Len() int { return t.n }
+
+// Bound returns the currently materialized count bound: AtLeast(k) is
+// available for 1 ≤ k ≤ Bound().
+func (t *Totalizer) Bound() int { return t.bound }
+
+// Vars returns the number of fresh output variables materialized so
+// far (totalizer-size telemetry).
+func (t *Totalizer) Vars() int { return t.vars }
+
+// AtLeast returns the output literal that is implied whenever at least
+// k inputs are true (1 ≤ k ≤ Bound()). Assuming its negation enforces
+// "at most k-1 inputs true".
+func (t *Totalizer) AtLeast(k int) sat.Lit {
+	if k < 1 || k > t.bound {
+		panic("card: AtLeast outside materialized bound")
+	}
+	return t.nodes[t.root].outs[k-1]
+}
+
+// Extend materializes counting outputs up to min(bound, Len()),
+// emitting only the clauses the new layers need. Bounds at or below
+// the current one are no-ops. The solver's TotalizerVars stat counter
+// tracks the variables created.
+func (t *Totalizer) Extend(bound int) {
+	if bound > t.n {
+		bound = t.n
+	}
+	if bound <= t.bound {
+		return
+	}
+	old := t.bound
+	t.extendNode(t.root, old, bound)
+	t.bound = bound
+}
+
+// extendNode grows one node (children first) from per-node target
+// min(size, oldB) to min(size, newB). For children counts i and j the
+// parent output min(i+j, target) is forced; pairs with i+j ≤ the old
+// target already carry their exact clause from an earlier extension and
+// are skipped, while pairs that previously collapsed onto the old
+// target get the sharper clause their sum now reaches.
+func (t *Totalizer) extendNode(ni, oldB, newB int) {
+	nd := &t.nodes[ni]
+	if nd.left < 0 {
+		return // leaf: its single output is the input literal
+	}
+	oldT := min(nd.size, oldB)
+	newT := min(nd.size, newB)
+	if newT <= oldT {
+		// Node (and thus its whole subtree) was already saturated.
+		return
+	}
+	t.extendNode(nd.left, oldB, newB)
+	t.extendNode(nd.right, oldB, newB)
+	for k := len(nd.outs); k < newT; k++ {
+		nd.outs = append(nd.outs, sat.MkLit(t.s.NewVar(), false))
+		t.vars++
+		t.s.TotalizerVars++
+	}
+	l := t.nodes[nd.left].outs
+	r := t.nodes[nd.right].outs
+	for i := 0; i <= len(l); i++ {
+		for j := 0; j <= len(r); j++ {
+			if i+j <= oldT {
+				continue // exact clause already present (i+j ≥ 1 implied)
+			}
+			m := i + j
+			if m > newT {
+				m = newT
+			}
+			switch {
+			case i == 0:
+				t.s.AddClause(r[j-1].Not(), nd.outs[m-1])
+			case j == 0:
+				t.s.AddClause(l[i-1].Not(), nd.outs[m-1])
+			default:
+				t.s.AddClause(l[i-1].Not(), r[j-1].Not(), nd.outs[m-1])
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,282 @@
+package card
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/smt/sat"
+)
+
+// newInputs allocates n free variables on s and returns their positive
+// literals.
+func newInputs(s *sat.Solver, n int) []sat.Lit {
+	lits := make([]sat.Lit, n)
+	for i := range lits {
+		lits[i] = sat.MkLit(s.NewVar(), false)
+	}
+	return lits
+}
+
+// polarize returns assumption literals fixing inputs to the bits of
+// mask: bit i set means input i is true.
+func polarize(inputs []sat.Lit, mask int) []sat.Lit {
+	asm := make([]sat.Lit, len(inputs))
+	for i, l := range inputs {
+		if mask&(1<<i) != 0 {
+			asm[i] = l
+		} else {
+			asm[i] = l.Not()
+		}
+	}
+	return asm
+}
+
+// checkExact verifies the totalizer's one-sided counting semantics for
+// every input assignment: with exactly c inputs true, AtLeast(k) is
+// forced for every k ≤ c and remains free for every k > c.
+func checkExact(t *testing.T, s *sat.Solver, tot *Totalizer, inputs []sat.Lit) {
+	t.Helper()
+	n := len(inputs)
+	for mask := 0; mask < 1<<n; mask++ {
+		c := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				c++
+			}
+		}
+		asm := polarize(inputs, mask)
+		for k := 1; k <= tot.Bound(); k++ {
+			st := s.Solve(append(asm[:len(asm):len(asm)], tot.AtLeast(k).Not())...)
+			if k <= c && st != sat.Unsat {
+				t.Fatalf("mask %b (count %d): ¬AtLeast(%d) should be contradictory, got %v", mask, c, k, st)
+			}
+			if k > c && st != sat.Sat {
+				t.Fatalf("mask %b (count %d): ¬AtLeast(%d) should be satisfiable, got %v", mask, c, k, st)
+			}
+		}
+	}
+}
+
+// TestTotalizerExactCounting: full materialization counts exactly on
+// every assignment, for every input size up to 6.
+func TestTotalizerExactCounting(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		s := sat.New()
+		inputs := newInputs(s, n)
+		tot := New(s, inputs)
+		tot.Extend(n)
+		if tot.Bound() != n || tot.Len() != n {
+			t.Fatalf("n=%d: Bound=%d Len=%d", n, tot.Bound(), tot.Len())
+		}
+		checkExact(t, s, tot, inputs)
+	}
+}
+
+// TestTotalizerIncrementalEquivalence: extending one layer at a time
+// (the core-guided usage pattern) yields the same counting semantics as
+// materializing the full bound at once, including the collapsed clauses
+// left behind by earlier bounds.
+func TestTotalizerIncrementalEquivalence(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := sat.New()
+		inputs := newInputs(s, n)
+		tot := New(s, inputs)
+		for b := 1; b <= n; b++ {
+			tot.Extend(b)
+			if tot.Bound() != b {
+				t.Fatalf("n=%d: Bound=%d after Extend(%d)", n, tot.Bound(), b)
+			}
+			// The partial bound must already be exact for k ≤ b.
+			for mask := 0; mask < 1<<n; mask++ {
+				c := 0
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						c++
+					}
+				}
+				asm := polarize(inputs, mask)
+				st := s.Solve(append(asm[:len(asm):len(asm)], tot.AtLeast(b).Not())...)
+				if b <= c && st != sat.Unsat {
+					t.Fatalf("n=%d b=%d mask %b: should be Unsat, got %v", n, b, mask, st)
+				}
+				if b > c && st != sat.Sat {
+					t.Fatalf("n=%d b=%d mask %b: should be Sat, got %v", n, b, mask, st)
+				}
+			}
+		}
+		checkExact(t, s, tot, inputs)
+	}
+}
+
+// TestTotalizerJumpExtension: skipping bounds (Extend(1) then Extend(n))
+// re-sharpens the pairs that collapsed onto the old bound.
+func TestTotalizerJumpExtension(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		s := sat.New()
+		inputs := newInputs(s, n)
+		tot := New(s, inputs)
+		tot.Extend(1)
+		tot.Extend(n)
+		checkExact(t, s, tot, inputs)
+	}
+}
+
+// TestTotalizerAtMostAssumption: assuming ¬AtLeast(k+1) enforces "at
+// most k true" against hard clauses that demand more.
+func TestTotalizerAtMostAssumption(t *testing.T) {
+	const n, k = 5, 2
+	s := sat.New()
+	inputs := newInputs(s, n)
+	tot := New(s, inputs)
+	tot.Extend(k + 1)
+	atMostK := tot.AtLeast(k + 1).Not()
+	// k+1 specific inputs forced true contradicts the bound...
+	if st := s.Solve(atMostK, inputs[0], inputs[1], inputs[2]); st != sat.Unsat {
+		t.Fatalf("forcing %d true under at-most-%d: got %v", k+1, k, st)
+	}
+	// ...while exactly k forced true is fine.
+	if st := s.Solve(atMostK, inputs[0], inputs[1]); st != sat.Sat {
+		t.Fatalf("forcing %d true under at-most-%d: got %v", k, k, st)
+	}
+	// And the bound composes with hard clauses: pairwise distinct ORs
+	// that can be covered by 2 true inputs stay satisfiable.
+	s.AddClause(inputs[0], inputs[1])
+	s.AddClause(inputs[2], inputs[3])
+	if st := s.Solve(atMostK); st != sat.Sat {
+		t.Fatalf("two disjoint ORs under at-most-2: got %v", st)
+	}
+	// Three disjoint demands cannot be met by two true inputs.
+	s.AddClause(inputs[4])
+	if st := s.Solve(atMostK); st != sat.Unsat {
+		t.Fatalf("three disjoint demands under at-most-2: got %v", st)
+	}
+}
+
+// TestTotalizerDeterministicLayout: identical construction sequences
+// allocate identical variable counts (the byte-identity prerequisite).
+func TestTotalizerDeterministicLayout(t *testing.T) {
+	build := func() (int, int) {
+		s := sat.New()
+		inputs := newInputs(s, 9)
+		tot := New(s, inputs)
+		tot.Extend(3)
+		tot.Extend(7)
+		return s.NumVars(), tot.Vars()
+	}
+	v1, tv1 := build()
+	v2, tv2 := build()
+	if v1 != v2 || tv1 != tv2 {
+		t.Fatalf("layout not deterministic: (%d,%d) vs (%d,%d)", v1, tv1, v2, tv2)
+	}
+}
+
+// TestTotalizerTelemetry: Vars() mirrors the solver's TotalizerVars
+// counter, Extend past Len saturates, and re-extension is a no-op.
+func TestTotalizerTelemetry(t *testing.T) {
+	s := sat.New()
+	inputs := newInputs(s, 4)
+	tot := New(s, inputs)
+	if tot.Vars() != 0 || s.TotalizerVars != 0 {
+		t.Fatalf("layout alone created variables: %d/%d", tot.Vars(), s.TotalizerVars)
+	}
+	tot.Extend(2)
+	if int64(tot.Vars()) != s.TotalizerVars {
+		t.Fatalf("Vars()=%d but solver counter %d", tot.Vars(), s.TotalizerVars)
+	}
+	before := tot.Vars()
+	tot.Extend(2) // no-op
+	tot.Extend(1) // shrink is a no-op too
+	if tot.Vars() != before {
+		t.Fatalf("no-op Extend created variables")
+	}
+	tot.Extend(99) // saturates at Len()
+	if tot.Bound() != 4 {
+		t.Fatalf("Bound=%d after over-extension", tot.Bound())
+	}
+	if int64(tot.Vars()) != s.TotalizerVars {
+		t.Fatalf("Vars()=%d but solver counter %d", tot.Vars(), s.TotalizerVars)
+	}
+}
+
+// TestTotalizerPanics: the package fails loudly on misuse.
+func TestTotalizerPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty inputs", func() { New(sat.New(), nil) })
+	s := sat.New()
+	tot := New(s, newInputs(s, 3))
+	tot.Extend(2)
+	mustPanic("AtLeast(0)", func() { tot.AtLeast(0) })
+	mustPanic("AtLeast beyond bound", func() { tot.AtLeast(3) })
+}
+
+// TestTotalizerRandomized: random duplicate-free input sets over a
+// random hard-clause background, extended in random increments, still
+// count exactly (checked via the at-most assumption against a model's
+// true count).
+func TestTotalizerRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		s := sat.New()
+		n := 3 + rng.Intn(6)
+		inputs := newInputs(s, n)
+		// Random background clauses over the inputs (keep satisfiable by
+		// using only positive literals in at least one slot).
+		for c := 0; c < n; c++ {
+			a := inputs[rng.Intn(n)]
+			b := inputs[rng.Intn(n)]
+			if rng.Intn(2) == 0 {
+				b = b.Not()
+			}
+			s.AddClause(a, b)
+		}
+		tot := New(s, inputs)
+		for b := 1 + rng.Intn(n); ; b += 1 + rng.Intn(2) {
+			if b > n {
+				b = n
+			}
+			tot.Extend(b)
+			if b == n {
+				break
+			}
+		}
+		// Find the minimum count of true inputs consistent with the
+		// background by descending the bound, then verify tightness.
+		lo := -1
+		for k := tot.Bound(); k >= 1; k-- {
+			if s.Solve(tot.AtLeast(k).Not()) == sat.Unsat {
+				lo = k
+				break
+			}
+		}
+		if lo < 0 {
+			// Even "at most 0" is satisfiable.
+			if st := s.Solve(tot.AtLeast(1).Not()); st != sat.Sat {
+				t.Fatalf("trial %d: inconsistent descent: %v", trial, st)
+			}
+			continue
+		}
+		// "at most lo-1" is Unsat, so "at most lo" must admit a model
+		// with exactly lo true inputs.
+		if lo+1 <= tot.Bound() {
+			if st := s.Solve(tot.AtLeast(lo + 1).Not()); st != sat.Sat {
+				t.Fatalf("trial %d: at-most-%d should be Sat, got %v", trial, lo, st)
+			}
+			c := 0
+			for _, l := range inputs {
+				if s.ValueLit(l) {
+					c++
+				}
+			}
+			if c > lo {
+				t.Fatalf("trial %d: model has %d true inputs under at-most-%d", trial, c, lo)
+			}
+		}
+	}
+}

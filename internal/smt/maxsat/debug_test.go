@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/smt/card"
 	"repro/internal/smt/sat"
 )
 
@@ -49,8 +50,9 @@ func TestSeed49BoundViaFreshSolver(t *testing.T) {
 		for i, l := range softs {
 			inputs[i] = l.Not()
 		}
-		outs := buildTotalizer(s, inputs, len(inputs))
-		s.AddClause(outs[bound].Not()) // ≤ bound violations, as a hard unit
+		tot := card.New(s, inputs)
+		tot.Extend(len(inputs))
+		s.AddClause(tot.AtLeast(bound + 1).Not()) // ≤ bound violations, as a hard unit
 		st := s.Solve()
 		t.Logf("bound %d via unit clause: %v", bound, st)
 		if st != sat.Sat {
@@ -72,8 +74,9 @@ func TestSeed49BoundViaFreshSolver(t *testing.T) {
 	for i, l := range softs {
 		inputs[i] = l.Not()
 	}
-	outs := buildTotalizer(s, inputs, len(inputs))
-	st := s.Solve(outs[want].Not())
+	tot := card.New(s, inputs)
+	tot.Extend(len(inputs))
+	st := s.Solve(tot.AtLeast(want + 1).Not())
 	t.Logf("bound %d via assumption (fresh): %v", want, st)
 	if st != sat.Sat {
 		t.Errorf("assumption-based bound %d should be sat", want)
@@ -92,9 +95,10 @@ func TestSeed49BoundViaFreshSolver(t *testing.T) {
 	}
 	ub := countViolated(s2, softs)
 	t.Logf("initial model violates %d", ub)
-	outs2 := buildTotalizer(s2, inputs, len(inputs))
+	tot2 := card.New(s2, inputs)
+	tot2.Extend(len(inputs))
 	for ub > want {
-		st := s2.Solve(outs2[ub-1].Not())
+		st := s2.Solve(tot2.AtLeast(ub).Not())
 		t.Logf("incremental bound %d: %v", ub-1, st)
 		if st != sat.Sat {
 			t.Fatalf("incremental bound %d should be sat (optimum %d)", ub-1, want)

@@ -1,16 +1,19 @@
 // Package maxsat solves partial MaxSAT: given hard clauses (already in a
-// sat.Solver) and a set of unit-weight soft literals, find a model of the
-// hard clauses that violates as few softs as possible.
+// sat.Solver) and a set of soft literals, find a model of the hard
+// clauses that minimizes the violated softs' weight.
 //
-// Two exact algorithms are provided, mirroring the MaxSMT engines used by
-// Z3 in the paper: linear SAT→UNSAT descent with a totalizer cardinality
-// encoding, and Fu–Malik core-guided search. Both are exact; the choice
-// is a performance ablation (see bench_test.go).
+// Three exact algorithms are provided, mirroring the MaxSMT engines used
+// by Z3 in the paper: linear SAT→UNSAT descent with a totalizer
+// cardinality encoding, Fu–Malik core-guided search, and stratified OLL
+// over incremental totalizers (the default — see oll.go). All are exact;
+// the choice is a performance ablation (see bench_test.go).
 package maxsat
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/smt/card"
 	"repro/internal/smt/sat"
 )
 
@@ -24,13 +27,38 @@ const (
 	LinearDescent Algorithm = iota
 	// FuMalik relaxes one unsat core per iteration until SAT.
 	FuMalik
+	// OLL is the core-guided descent of Andres et al.: each unsat core
+	// is relaxed through an incremental totalizer whose bound output
+	// becomes a new assumption, with weight stratification and clause
+	// hardening on the weighted path. Exact, like the others, but no
+	// encoding is ever built over the full soft set.
+	OLL
 )
 
 func (a Algorithm) String() string {
-	if a == FuMalik {
+	switch a {
+	case FuMalik:
 		return "fu-malik"
+	case OLL:
+		return "oll"
 	}
 	return "linear"
+}
+
+// ParseAlgorithm resolves the string spelling shared by cpr's
+// -algorithm flag and cprd's JSON "algorithm" field, rejecting unknown
+// values with a labeled error instead of silently falling back. The
+// empty string selects the default engine (OLL).
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "", "oll":
+		return OLL, nil
+	case "linear":
+		return LinearDescent, nil
+	case "fu-malik":
+		return FuMalik, nil
+	}
+	return OLL, fmt.Errorf("unknown algorithm %q (want oll, linear, or fu-malik)", name)
 }
 
 // Result reports the outcome of a MaxSAT solve.
@@ -43,18 +71,26 @@ type Result struct {
 
 // Solve minimizes the number of violated softs. The solver must contain
 // the hard clauses; on return with Status == Sat its model is an optimal
-// assignment.
+// assignment. Unknown Algorithm values panic — string-level front ends
+// reject them earlier with ParseAlgorithm's labeled error.
 func Solve(s *sat.Solver, softs []sat.Lit, algo Algorithm) Result {
-	if algo == FuMalik {
+	switch algo {
+	case LinearDescent:
+		return linearDescent(s, softs)
+	case FuMalik:
 		return fuMalik(s, softs)
+	case OLL:
+		return oll(s, softs, nil)
 	}
-	return linearDescent(s, softs)
+	panic(fmt.Sprintf("maxsat: unknown algorithm %d", int(algo)))
 }
 
 // SolveWeighted minimizes the total weight of violated softs (weights
-// must be non-negative; zero-weight softs are ignored). Weights are
-// realized by duplication — exact and simple for the small integer
-// weights CPR uses — so Cost is the violated weight sum.
+// must be non-negative; zero-weight softs are ignored). The OLL engine
+// handles weights natively through stratification and residual-weight
+// accounting; the legacy engines realize them by duplication — exact
+// and simple for the small integer weights CPR uses. Either way Cost is
+// the violated weight sum.
 func SolveWeighted(s *sat.Solver, softs []sat.Lit, weights []int, algo Algorithm) Result {
 	if len(weights) != len(softs) {
 		panic("maxsat: weights and softs length mismatch")
@@ -70,8 +106,12 @@ func SolveWeighted(s *sat.Solver, softs []sat.Lit, weights []int, algo Algorithm
 	}
 	if unit {
 		// The common case — Table 2's softs are unit weight unless the
-		// waypoint weight is raised — needs no duplication at all.
+		// waypoint weight is raised — needs no duplication or
+		// stratification at all; it rides the plain engine dispatch.
 		return Solve(s, softs, algo)
+	}
+	if algo == OLL {
+		return oll(s, softs, weights)
 	}
 	expanded := make([]sat.Lit, 0, len(softs))
 	for i, l := range softs {
@@ -138,32 +178,33 @@ func linearDescent(s *sat.Solver, softs []sat.Lit) Result {
 	for i, l := range softs {
 		inputs[i] = l.Not()
 	}
-	// The totalizer is truncated at ub+1 outputs: the search only ever
-	// bounds below the initial model's violation count, and truncation
-	// keeps the encoding O(n·ub) instead of O(n²) clauses. A grossly bad
-	// initial model (huge ub on huge soft sets) would still exhaust
-	// memory, so give up with Unknown instead — callers report DNF.
+	// The totalizer is materialized only up to ub+1 counts: the search
+	// only ever bounds below the initial model's violation count, and
+	// truncation keeps the encoding O(n·ub) instead of O(n²) clauses. A
+	// grossly bad initial model (huge ub on huge soft sets) would still
+	// exhaust memory, so give up with Unknown instead — callers report
+	// DNF.
 	const maxTotalizerClauses = 40_000_000
 	if int64(len(inputs))*int64(ub+1) > maxTotalizerClauses {
 		return Result{Status: sat.Unknown}
 	}
-	outs := buildTotalizer(s, inputs, ub+1)
+	tot := card.New(s, inputs)
+	tot.Extend(ub + 1)
 	// Warm start each bound-tightening iteration from the previous model:
 	// the next optimum usually differs in a handful of assignments, so
 	// seeding phases turns each re-solve into a short repair of the last
 	// model instead of a cold search.
 	s.SeedPhasesFromModel()
-	// outs[k] ("at least k+1 violations") false ⇒ at most k violations.
+	// AtLeast(k) ("at least k violations") false ⇒ at most k-1.
 	for ub > 0 {
-		target := ub - 1
-		st := s.Solve(outs[target].Not())
+		st := s.Solve(tot.AtLeast(ub).Not())
 		if st == sat.Unsat {
 			// Lock in the optimum bound for subsequent incremental use and
 			// restore the optimal model by re-solving at the optimum. The
 			// phases still hold the ub-violation model, steering the
 			// re-solve straight back to it.
-			if ub < len(outs) {
-				s.AddClause(outs[ub].Not())
+			if ub+1 <= tot.Bound() {
+				s.AddClause(tot.AtLeast(ub + 1).Not())
 			}
 			st2 := s.Solve()
 			if st2 != sat.Sat {
@@ -223,61 +264,6 @@ func warmStart(s *sat.Solver, softs []sat.Lit) sat.Status {
 			return s.Solve()
 		}
 	}
-}
-
-// buildTotalizer adds a totalizer over inputs, truncated to cap outputs,
-// and returns output literals outs[0..m-1] (m = min(len(inputs), cap)):
-// outs[k] is implied whenever at least k+1 inputs are true, with counts
-// beyond cap collapsing onto the last output. Only the input→output
-// direction is encoded, which is sufficient for upper-bounding, and
-// truncation keeps the clause count O(n·cap).
-func buildTotalizer(s *sat.Solver, inputs []sat.Lit, cap int) []sat.Lit {
-	if cap > len(inputs) {
-		cap = len(inputs)
-	}
-	if cap < 1 {
-		cap = 1
-	}
-	if len(inputs) == 1 {
-		return inputs
-	}
-	mid := len(inputs) / 2
-	left := buildTotalizer(s, inputs[:mid], cap)
-	right := buildTotalizer(s, inputs[mid:], cap)
-	n := len(left) + len(right)
-	if n > cap {
-		n = cap
-	}
-	outs := make([]sat.Lit, n)
-	for i := range outs {
-		outs[i] = sat.MkLit(s.NewVar(), false)
-	}
-	// left[i-1] alone implies outs[min(i,n)-1]; same for right.
-	for i := 1; i <= len(left); i++ {
-		m := i
-		if m > n {
-			m = n
-		}
-		s.AddClause(left[i-1].Not(), outs[m-1])
-	}
-	for j := 1; j <= len(right); j++ {
-		m := j
-		if m > n {
-			m = n
-		}
-		s.AddClause(right[j-1].Not(), outs[m-1])
-	}
-	// left ≥ i and right ≥ j imply outs ≥ min(i+j, n).
-	for i := 1; i <= len(left); i++ {
-		for j := 1; j <= len(right); j++ {
-			m := i + j
-			if m > n {
-				m = n
-			}
-			s.AddClause(left[i-1].Not(), right[j-1].Not(), outs[m-1])
-		}
-	}
-	return outs
 }
 
 func fuMalik(s *sat.Solver, softs []sat.Lit) Result {

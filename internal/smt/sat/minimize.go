@@ -1,0 +1,59 @@
+package sat
+
+// MinimizeCore shrinks an assumption core by destructive probing: each
+// literal is dropped in turn and the remainder re-solved under a small
+// conflict budget; if the remainder is still unsatisfiable the literal
+// was redundant and the (often smaller) probe core replaces the working
+// set. Smaller cores matter to core-guided MaxSAT drivers — every
+// literal removed here is one fewer totalizer input for the rest of the
+// descent.
+//
+// Probes run on the live solver, so learned clauses persist and later
+// probes get cheaper; the walk order, probe budget, and therefore the
+// returned core are fully deterministic given the solver state. The
+// caller's Budget field is saved and restored. A probe that exhausts
+// its budget (or is interrupted) keeps the literal, so MinimizeCore
+// never costs more than probes × budget conflicts and is always sound:
+// the result is a subset of core whose conjunction with the clause
+// database is still contradictory.
+func (s *Solver) MinimizeCore(core []Lit, probeBudget int64) []Lit {
+	if len(core) <= 1 {
+		return core
+	}
+	saved := s.Budget
+	s.Budget = probeBudget
+	defer func() { s.Budget = saved }()
+
+	work := append([]Lit(nil), core...)
+	for i := 0; i < len(work) && len(work) > 1; {
+		probe := make([]Lit, 0, len(work)-1)
+		probe = append(probe, work[:i]...)
+		probe = append(probe, work[i+1:]...)
+		if s.Solve(probe...) != Unsat {
+			i++
+			continue
+		}
+		// Still contradictory without work[i]; adopt the probe's own
+		// core, which may have shed more than one literal. Preserve the
+		// original ordering for determinism of downstream encodings.
+		in := make(map[Lit]bool, len(s.core))
+		for _, l := range s.core {
+			in[l] = true
+		}
+		next := work[:0]
+		for _, l := range probe {
+			if in[l] {
+				next = append(next, l)
+			}
+		}
+		if len(next) == 0 {
+			// The probe proved the hard clauses alone contradictory;
+			// report the empty core.
+			return nil
+		}
+		// Single pass: i is not reset, so the probe count is bounded by
+		// the core size plus the literals dropped.
+		work = next
+	}
+	return work
+}

@@ -804,6 +804,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Unknown
 		}
 	}
+	if len(assumptions) > 0 {
+		s.AssumpSolves++
+	}
 	if !s.ok {
 		s.core = nil
 		return Unsat
@@ -980,6 +983,7 @@ func (s *Solver) analyzeFinal(conflictRef uint32) {
 		}
 	}
 	s.core = core
+	s.CoresExtracted++
 }
 
 // coreFromFailedAssumption computes the core when assumption a is already
@@ -1018,6 +1022,7 @@ func (s *Solver) coreFromFailedAssumption(a Lit) {
 		}
 	}
 	s.core = core
+	s.CoresExtracted++
 }
 
 // UnsatCore returns the subset of the last Solve call's assumptions that

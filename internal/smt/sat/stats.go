@@ -24,6 +24,18 @@ type Stats struct {
 	// ArenaGCs counts arena compactions (garbage collections of deleted
 	// clause storage with watcher/reason remapping).
 	ArenaGCs int64
+	// AssumpSolves counts Solve calls made under at least one assumption
+	// — the unit of work of core-guided MaxSAT descents.
+	AssumpSolves int64
+	// CoresExtracted counts UNSAT cores computed from failed
+	// assumptions (including probes made by MinimizeCore).
+	CoresExtracted int64
+	// TotalizerVars counts fresh variables materialized by incremental
+	// totalizer encodings (bumped by the card package).
+	TotalizerVars int64
+	// HardenedSofts counts soft constraints promoted to hard unit
+	// clauses by a MaxSAT driver's bound reasoning (stratified OLL).
+	HardenedSofts int64
 }
 
 // Snapshot returns the current counters by value.
@@ -40,4 +52,8 @@ func (a *Stats) Accumulate(b Stats) {
 	a.LearnedLits += b.LearnedLits
 	a.DBReductions += b.DBReductions
 	a.ArenaGCs += b.ArenaGCs
+	a.AssumpSolves += b.AssumpSolves
+	a.CoresExtracted += b.CoresExtracted
+	a.TotalizerVars += b.TotalizerVars
+	a.HardenedSofts += b.HardenedSofts
 }

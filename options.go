@@ -14,7 +14,7 @@ import (
 type OptionFlags struct {
 	// Granularity is "per-dst" (default) or "all-tcs".
 	Granularity string `json:"granularity,omitempty"`
-	// Algorithm is "linear" (default) or "fu-malik".
+	// Algorithm is "oll" (default), "linear", or "fu-malik".
 	Algorithm string `json:"algorithm,omitempty"`
 	// Objective is "min-lines" (default) or "min-devices".
 	Objective string `json:"objective,omitempty"`
@@ -68,14 +68,11 @@ func (f OptionFlags) Resolve() (Options, error) {
 	default:
 		return opts, fmt.Errorf("unknown granularity %q (want per-dst or all-tcs)", f.Granularity)
 	}
-	switch f.Algorithm {
-	case "", "linear":
-		opts.Algorithm = maxsat.LinearDescent
-	case "fu-malik":
-		opts.Algorithm = maxsat.FuMalik
-	default:
-		return opts, fmt.Errorf("unknown algorithm %q (want linear or fu-malik)", f.Algorithm)
+	algo, err := maxsat.ParseAlgorithm(f.Algorithm)
+	if err != nil {
+		return opts, err
 	}
+	opts.Algorithm = algo
 	switch f.Objective {
 	case "", "min-lines":
 		opts.Objective = core.MinLines
